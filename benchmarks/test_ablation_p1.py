@@ -1,0 +1,53 @@
+"""Experiment E8 — sensitivity to the phase-1 target p1.
+
+The paper: "To balance the cluster sizes and the effectiveness of phase
+two, we experimented with different values of p1.  The results indicate
+that p1 = 1% balances them well."  We regenerate the sweep: run the
+procedure with several p1 values on one circuit and report final U and
+S_max.
+"""
+
+from __future__ import annotations
+
+import os
+
+from benchmarks.conftest import get_library, bench_scale
+from repro.bench import build_benchmark
+from repro.core import ResynthesisConfig, resynthesize_for_coverage
+from repro.utils import format_table
+
+CIRCUIT = os.environ.get("REPRO_P1_CIRCUIT", "sparc_lsu")
+P1_VALUES = (0.005, 0.01, 0.02, 0.05)
+
+
+def _run():
+    library = get_library()
+    circuit = build_benchmark(CIRCUIT, library, scale=bench_scale())
+    rows = []
+    for p1 in P1_VALUES:
+        cfg = ResynthesisConfig(
+            p1=p1, q_max=2, max_iterations_per_phase=5
+        )
+        result = resynthesize_for_coverage(circuit, library, cfg)
+        rows.append([
+            f"{100 * p1:.1f}%",
+            result.original.u_total,
+            result.final.u_total,
+            result.final.smax_size,
+            f"{100 * result.final.smax_fraction_of_f:.2f}",
+            f"{100 * result.final.coverage:.2f}",
+        ])
+    return rows
+
+
+def test_p1_sensitivity(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    from benchmarks.conftest import emit_report
+    emit_report("ablation_p1", format_table(
+        ["p1", "U orig", "U final", "Smax final", "%Smax_all", "Cov%"],
+        rows,
+        title=f"p1 sensitivity ({CIRCUIT})",
+    ))
+    # All settings must reduce U; the sweep itself is the deliverable.
+    for row in rows:
+        assert row[2] <= row[1]

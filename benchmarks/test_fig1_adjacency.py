@@ -1,0 +1,91 @@
+"""Experiment E3 — Fig. 1: the structural adjacency definition.
+
+Fig. 1 of the paper illustrates three two-gate configurations and states
+that "gates g1 and g2 are only adjacent in (c)" — i.e. adjacency means
+one gate directly drives the other; sharing a fanin (a) or sharing a
+fanout (b) does not count.  This benchmark regenerates that data point
+from our implementation of the definition.
+"""
+
+from __future__ import annotations
+
+from repro.core import are_adjacent
+from repro.faults.model import StuckAtFault
+from repro.netlist import Circuit
+
+
+def _gate_fault(circuit, gate):
+    """A fault that corresponds exactly to *gate* (branch input fault)."""
+    g = circuit.gates[gate]
+    pin, net = next(iter(g.pins.items()))
+    drv = circuit.driver(net)
+    assert drv is None, "use a PI-driven pin for a single-gate fault"
+    return StuckAtFault(
+        f"sa0:{net}:{gate}", "VIA-01", net=net, value=0, branch=(gate, pin)
+    )
+
+
+def _case_a():
+    """(a): g1 and g2 share an input."""
+    c = Circuit("fig1a")
+    c.add_input("x")
+    c.add_input("y")
+    c.add_input("z")
+    c.add_gate("g1", "NAND2X1", {"A": "x", "B": "y"}, "p")
+    c.add_gate("g2", "NAND2X1", {"A": "x", "B": "z"}, "q")
+    c.set_outputs(["p", "q"])
+    return c
+
+
+def _case_b():
+    """(b): g1 and g2 drive the same gate (share a fanout)."""
+    c = Circuit("fig1b")
+    for pi in ("x", "y", "z", "w"):
+        c.add_input(pi)
+    c.add_gate("g1", "NAND2X1", {"A": "x", "B": "y"}, "p")
+    c.add_gate("g2", "NAND2X1", {"A": "z", "B": "w"}, "q")
+    c.add_gate("g3", "NAND2X1", {"A": "p", "B": "q"}, "r")
+    c.set_outputs(["r"])
+    return c
+
+
+def _case_c():
+    """(c): g1 directly drives g2."""
+    c = Circuit("fig1c")
+    c.add_input("x")
+    c.add_input("y")
+    c.add_input("z")
+    c.add_gate("g1", "NAND2X1", {"A": "x", "B": "y"}, "p")
+    c.add_gate("g2", "NAND2X1", {"A": "p", "B": "z"}, "q")
+    c.set_outputs(["q"])
+    return c
+
+
+def _evaluate():
+    results = {}
+    for label, build in (("a", _case_a), ("b", _case_b), ("c", _case_c)):
+        circuit = build()
+        f1 = _gate_fault(circuit, "g1")
+        # g2's PI-driven pin differs per case.
+        g2 = circuit.gates["g2"]
+        pin, net = next(
+            (p, n) for p, n in g2.pins.items()
+            if circuit.driver(n) is None
+        )
+        f2 = StuckAtFault(
+            f"sa0:{net}:g2", "VIA-01", net=net, value=0, branch=("g2", pin)
+        )
+        results[label] = are_adjacent(f1, f2, circuit)
+    return results
+
+
+def test_fig1_adjacency(benchmark):
+    results = benchmark.pedantic(_evaluate, rounds=1, iterations=1)
+    from benchmarks.conftest import emit_report
+    emit_report("fig1", (
+        "Fig. 1: faults on g1/g2 adjacent?  "
+        f"(a) shared fanin: {results['a']}, "
+        f"(b) shared fanout: {results['b']}, "
+        f"(c) direct drive: {results['c']}"))
+    # "gates g1 and g2 are only adjacent in (c)".
+    assert results == {"a": False, "b": False, "c": True}

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Cluster analysis (Section II of the paper): where do undetectable
+DFM faults sit, and how strongly do they cluster?
+
+Runs the design flow on a benchmark, prints the Table-I style row, the
+cluster size distribution, and an ASCII die map marking the gates that
+correspond to undetectable faults (G_U) and the largest cluster (G_max).
+
+Run:  python3 examples/cluster_analysis.py [benchmark-name]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench import BENCHMARKS, build_benchmark
+from repro.core import analyze_design, table1_row
+from repro.library import osu018_library
+from repro.utils import format_table
+
+
+def die_map(state) -> str:
+    """ASCII map of the die: '#' = G_max gate, 'u' = other G_U gate,
+    '.' = clean gate, ' ' = empty sites."""
+    layout = state.physical.layout
+    gmax = state.clusters.gmax
+    gu = state.clusters.gates_u
+    rows = []
+    for y in range(layout.die_rows):
+        line = [" "] * layout.die_width
+        for gate in layout.gates.values():
+            if gate.y != y:
+                continue
+            mark = "."
+            if gate.name in gmax:
+                mark = "#"
+            elif gate.name in gu:
+                mark = "u"
+            for x in range(gate.x, min(gate.x + gate.width,
+                                       layout.die_width)):
+                line[x] = mark
+        rows.append("".join(line).rstrip())
+    return "\n".join(rows)
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "sparc_lsu"
+    if name not in BENCHMARKS:
+        raise SystemExit(f"unknown benchmark {name!r}; try: {sorted(BENCHMARKS)}")
+    library = osu018_library()
+    circuit = build_benchmark(name, library)
+    print(f"Analyzing '{name}' ({len(circuit)} gates)...")
+    state = analyze_design(circuit, library)
+
+    row = table1_row(name, state)
+    print()
+    print(format_table(list(row.keys()), [list(row.values())],
+                       title="Table I row (clustered undetectable faults)"))
+
+    sizes = state.clusters.sizes()
+    print(f"\ncluster size distribution ({len(sizes)} clusters): "
+          f"{sizes[:12]}{'...' if len(sizes) > 12 else ''}")
+    if state.u_total:
+        share = 100.0 * state.smax_size / state.u_total
+        print(f"S_max holds {share:.1f}% of all undetectable faults")
+
+    print("\nDie map ('#' = G_max, 'u' = other gates with undetectable "
+          "faults, '.' = clean):\n")
+    print(die_map(state))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Working with custom standard cells and their DFM defect models.
+
+Shows the switch-level machinery that underpins the cell-aware (UDFM)
+faults: define a cell from its transistor-level pull-down network,
+derive its truth table, enumerate its DFM-flagged internal defects, and
+extract the UDFM detection patterns — then compare the internal fault
+population across the shipped OSU-like library.
+
+Run:  python3 examples/custom_library.py
+"""
+
+from __future__ import annotations
+
+from repro.library import (
+    StandardCell,
+    SwitchNetwork,
+    Stage,
+    extract_udfm,
+    lit,
+    osu018_library,
+    par,
+    ser,
+)
+from repro.utils import format_table
+
+
+def main() -> None:
+    # --- define a custom AOI31 cell from its transistor netlist --------
+    # Y = NOT((A AND B AND C) OR D): PDN = (A*B*C) + D, PUN is the dual.
+    network = SwitchNetwork(
+        inputs=("A", "B", "C", "D"),
+        stages=(Stage("Y", par(ser(lit("A"), lit("B"), lit("C")),
+                               lit("D"))),),
+    )
+    aoi31 = StandardCell(
+        name="AOI31X1",
+        input_pins=("A", "B", "C", "D"),
+        output_pin="Y",
+        network=network,
+        area=18.0, input_cap=2.0, drive_res=2.9,
+        intrinsic_delay=50.0, leakage=2.5,
+        drive=1, flag_rate=62,
+    )
+    print(f"custom cell {aoi31.name}: tt=0x{aoi31.tt:04x}, "
+          f"{network.transistor_count()} transistors, "
+          f"{aoi31.internal_fault_count} DFM-flagged internal defects")
+
+    udfm = extract_udfm(aoi31)
+    static = [e for e in udfm if e.kind == "static"][:4]
+    print("\nfirst UDFM entries (cell input pattern -> faulty output):")
+    for e in static:
+        pattern = "".join(str(b) for b in e.test_pattern)
+        print(f"  {e.defect_id:22s} ABCD={pattern}  good={e.good_output} "
+              f"faulty={e.faulty_output}")
+
+    # --- the shipped library's internal fault ordering ------------------
+    library = osu018_library()
+    rows = []
+    for cell in library.order_by_internal_faults():
+        defects = cell.internal_defects()
+        dynamic = sum(1 for d in defects if d.kind == "dynamic")
+        rows.append([
+            cell.name, cell.n_inputs,
+            cell.network.transistor_count(),
+            cell.internal_fault_count, dynamic, f"{cell.area:.0f}",
+        ])
+    print()
+    print(format_table(
+        ["cell", "inputs", "transistors", "int.faults", "dynamic", "area"],
+        rows,
+        title="library cells ordered by internal DFM faults "
+              "(the paper's cell_0 .. cell_m-1)",
+    ))
+    print("\nThe resynthesis procedure excludes a growing prefix of this "
+          "list:\ncells at the top are avoided first, the nearly-clean "
+          "cells at the bottom\nalways remain available.")
+
+
+if __name__ == "__main__":
+    main()

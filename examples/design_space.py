@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Design-space exploration: coverage vs. the delay/power budget q.
+
+The paper sweeps the maximum acceptable increase in delay and power from
+q = 0% to q = 5%, applying the resynthesis procedure at each step on top
+of the previous solution.  This example reports the whole trade-off
+curve for one circuit: how much coverage each extra percent of budget
+buys, and what the layout actually pays.
+
+Run:  python3 examples/design_space.py [benchmark-name] [q_max]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench import BENCHMARKS, build_benchmark
+from repro.core import ResynthesisConfig, resynthesize_for_coverage
+from repro.library import osu018_library
+from repro.utils import format_table
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "sparc_lsu"
+    q_max = int(sys.argv[2]) if len(sys.argv) > 2 else 5
+    if name not in BENCHMARKS:
+        raise SystemExit(f"unknown benchmark {name!r}; try: {sorted(BENCHMARKS)}")
+    library = osu018_library()
+    circuit = build_benchmark(name, library)
+    print(f"Sweeping q = 0..{q_max} on '{name}' ({len(circuit)} gates)...")
+    result = resynthesize_for_coverage(
+        circuit, library,
+        ResynthesisConfig(q_max=q_max, max_iterations_per_phase=8),
+    )
+    orig = result.original
+    rows = [[
+        "orig", orig.n_faults, orig.u_total,
+        f"{100 * orig.coverage:.2f}", orig.smax_size, "100.0", "100.0",
+    ]]
+    for q in sorted(result.per_q):
+        st = result.per_q[q]
+        rows.append([
+            f"q={q}%", st.n_faults, st.u_total,
+            f"{100 * st.coverage:.2f}", st.smax_size,
+            f"{100 * st.delay / orig.delay:.1f}",
+            f"{100 * st.power / orig.power:.1f}",
+        ])
+    print()
+    print(format_table(
+        ["budget", "F", "U", "Cov%", "Smax", "Delay%", "Power%"], rows,
+        title="coverage vs. delay/power budget",
+    ))
+    print(f"\nsmallest budget reaching final coverage: q = {result.q_used}%")
+
+
+if __name__ == "__main__":
+    main()

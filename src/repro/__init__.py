@@ -1,0 +1,32 @@
+"""repro — reproduction of "Resynthesis for Avoiding Undetectable Faults
+Based on Design-for-Manufacturability Guidelines" (DATE 2019).
+
+Public API highlights:
+
+* :func:`repro.library.osu018_library` — the 21-cell library with
+  switch-level DFM defect models;
+* :func:`repro.bench.build_benchmark` — the twelve benchmark circuits;
+* :func:`repro.core.analyze_design` — one flow iteration: PDesign() +
+  DFM fault extraction + exact ATPG + clustering;
+* :func:`repro.core.resynthesize_for_coverage` — the paper's two-phase
+  resynthesis procedure with the q = 0..5 constraint schedule.
+"""
+
+from repro.core import (
+    ResynthesisConfig,
+    ResynthesisResult,
+    analyze_design,
+    resynthesize_for_coverage,
+)
+from repro.library import osu018_library
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ResynthesisConfig",
+    "ResynthesisResult",
+    "analyze_design",
+    "resynthesize_for_coverage",
+    "osu018_library",
+    "__version__",
+]

@@ -1,0 +1,52 @@
+"""Static test set compaction.
+
+Classic reverse-order compaction: simulate the test pairs in the reverse
+of their generation order and keep only the pairs that detect at least
+one fault not covered by a later-kept pair.  This is how the paper's
+column *T* (number of tests) stays comparable between the original and
+resynthesized designs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.faults.fsim import PatternBatch, fault_simulate
+from repro.faults.model import Fault
+from repro.library.cell import StandardCell
+from repro.netlist.circuit import Circuit
+
+TestPair = Tuple[Dict[str, int], Dict[str, int]]
+
+
+def compact_tests(
+    circuit: Circuit,
+    cells: Mapping[str, StandardCell],
+    faults: Sequence[Fault],
+    tests: Sequence[TestPair],
+) -> List[TestPair]:
+    """Reverse-order compaction of *tests* against *faults*."""
+    if not tests:
+        return []
+    n = len(tests)
+    word = 64
+    # detect_matrix[fault index] = bit vector over test indices.
+    detect: List[int] = [0] * len(faults)
+    for start in range(0, n, word):
+        chunk = tests[start:start + word]
+        batch = PatternBatch.from_pairs(circuit, chunk)
+        words = fault_simulate(circuit, cells, faults, batch)
+        for fi, w in enumerate(words):
+            detect[fi] |= w << start
+    uncovered = [fi for fi, w in enumerate(detect) if w]
+    kept: List[int] = []
+    covered = set()
+    for ti in reversed(range(n)):
+        bit = 1 << ti
+        new = [fi for fi in uncovered
+               if fi not in covered and detect[fi] & bit]
+        if new:
+            kept.append(ti)
+            covered.update(new)
+    kept.reverse()
+    return [tests[ti] for ti in kept]

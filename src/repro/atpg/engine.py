@@ -1,0 +1,217 @@
+"""The ATPG driver: random phase, deterministic SAT phase, compaction.
+
+``run_atpg`` classifies every fault of the target set as *detected* or
+*undetectable* (exactly — there is no abort bucket: the SAT solver runs
+to completion on each class representative) and produces a compacted
+test set.  This provides the paper's quantities: T (tests), U
+(undetectable faults) and Cov = 1 - U/F.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import (
+    AbstractSet,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.atpg.compaction import TestPair, compact_tests
+from repro.atpg.incremental import IncrementalAtpg
+from repro.faults.collapse import behaviour_key, collapse_faults
+from repro.faults.fsim import PatternBatch, fault_simulate
+from repro.faults.model import Fault
+from repro.library.cell import StandardCell
+from repro.netlist.circuit import Circuit
+from repro.utils.rng import make_rng
+
+
+@dataclass
+class AtpgResult:
+    """Classification of a fault set plus the generated tests."""
+
+    n_faults: int
+    detected: Set[str] = field(default_factory=set)  # fault ids
+    undetectable: Set[str] = field(default_factory=set)
+    tests: List[TestPair] = field(default_factory=list)
+    runtime: float = 0.0
+    sat_calls: int = 0
+
+    @property
+    def coverage(self) -> float:
+        """Cov = 1 - U/F (the paper's definition)."""
+        if self.n_faults == 0:
+            return 1.0
+        return 1.0 - len(self.undetectable) / self.n_faults
+
+    def is_undetectable(self, fault: Fault) -> bool:
+        return fault.fault_id in self.undetectable
+
+
+def run_atpg(
+    circuit: Circuit,
+    cells: Mapping[str, StandardCell],
+    faults: Sequence[Fault],
+    seed: int = 0,
+    random_rounds: int = 8,
+    batch_size: int = 64,
+    compaction: bool = True,
+    initial_tests: Optional[Sequence[TestPair]] = None,
+    assume_undetectable: Optional[AbstractSet] = None,
+) -> AtpgResult:
+    """Classify *faults* on *circuit* and build a test set.
+
+    Strategy: seeded random pattern pairs with bit-parallel fault
+    simulation drop the easy faults; each remaining behaviour class gets
+    an exact SAT decision, with every generated test fault-simulated to
+    drop other classes opportunistically.  *initial_tests* (e.g. the
+    previous resynthesis iteration's test set) are fault-simulated first,
+    which makes re-running ATPG after a local circuit change cheap.
+
+    *assume_undetectable* is a set of behaviour keys (see
+    :func:`repro.faults.collapse.behaviour_key`) known undetectable from
+    an earlier, functionally-equivalent version of the circuit in which
+    the key's referenced gates/nets were outside the changed region;
+    detection is a functional property, so those verdicts carry over
+    without re-proof.
+    """
+    start = time.monotonic()
+    result = AtpgResult(n_faults=len(faults))
+    classes = collapse_faults(faults)
+    reps: List[Fault] = list(classes)
+    rng = make_rng(seed)
+
+    inherited_undet: Set[str] = set()
+    if assume_undetectable:
+        still: List[Fault] = []
+        for rep in reps:
+            if behaviour_key(rep) in assume_undetectable:
+                inherited_undet.add(rep.fault_id)
+            else:
+                still.append(rep)
+        reps = still
+
+    remaining: List[Fault] = list(reps)
+    detected_reps: Set[str] = set()
+    tests: List[TestPair] = []
+
+    # ---- seed with inherited tests --------------------------------------
+    if initial_tests:
+        for start_i in range(0, len(initial_tests), batch_size):
+            chunk = list(initial_tests[start_i:start_i + batch_size])
+            batch = PatternBatch.from_pairs(circuit, chunk)
+            words = fault_simulate(circuit, cells, remaining, batch)
+            used: Dict[int, TestPair] = {}
+            still: List[Fault] = []
+            for fault, w in zip(remaining, words):
+                if w:
+                    detected_reps.add(fault.fault_id)
+                    bit = (w & -w).bit_length() - 1
+                    used.setdefault(bit, chunk[bit])
+                else:
+                    still.append(fault)
+            tests.extend(used[b] for b in sorted(used))
+            remaining = still
+
+    # ---- random phase --------------------------------------------------
+    quiet = 0
+    for round_no in range(random_rounds):
+        if not remaining or quiet >= 2:
+            break
+        batch = PatternBatch.random(
+            circuit, batch_size, seed=rng.getrandbits(32)
+        )
+        words = fault_simulate(circuit, cells, remaining, batch)
+        new_pairs: Dict[int, TestPair] = {}
+        still: List[Fault] = []
+        for fault, w in zip(remaining, words):
+            if w:
+                detected_reps.add(fault.fault_id)
+                bit = (w & -w).bit_length() - 1
+                if bit not in new_pairs:
+                    new_pairs[bit] = _unpack_pair(circuit, batch, bit)
+            else:
+                still.append(fault)
+        if new_pairs:
+            quiet = 0
+            tests.extend(new_pairs[b] for b in sorted(new_pairs))
+        else:
+            quiet += 1
+        remaining = still
+
+    # ---- deterministic phase --------------------------------------------
+    # One shared incremental solver: the good circuit is encoded once and
+    # learned lemmas carry over between faults (see repro.atpg.incremental).
+    # Faults are grouped by site so each shared site cone is encoded and
+    # retired exactly once.
+    engine = IncrementalAtpg(circuit, cells)
+    remaining.sort(
+        key=lambda f: (engine._site_net(f) or "", f.fault_id)
+    )
+    pending_drop: List[TestPair] = []
+    i = 0
+    while i < len(remaining):
+        fault = remaining[i]
+        i += 1
+        if fault.fault_id in detected_reps:
+            continue
+        result.sat_calls += 1
+        detectable, pair = engine.decide(fault)
+        if detectable:
+            tests.append(pair)
+            pending_drop.append(pair)
+            detected_reps.add(fault.fault_id)
+        else:
+            result.undetectable.add(fault.fault_id)
+        # Periodically fault-simulate the fresh tests to drop classes
+        # before paying for their SAT calls.
+        if len(pending_drop) >= 16 or (i == len(remaining) and pending_drop):
+            todo = [
+                f for f in remaining[i:]
+                if f.fault_id not in detected_reps
+            ]
+            if todo:
+                batch = PatternBatch.from_pairs(circuit, pending_drop)
+                words = fault_simulate(circuit, cells, todo, batch)
+                for f, w in zip(todo, words):
+                    if w:
+                        detected_reps.add(f.fault_id)
+            pending_drop = []
+
+    # ---- expand classes to all member faults ----------------------------
+    undetectable_reps = {
+        f.fault_id for f in reps if f.fault_id not in detected_reps
+    }
+    undetectable_reps |= inherited_undet
+    for rep, members in classes.items():
+        bucket = (
+            result.undetectable
+            if rep.fault_id in undetectable_reps
+            else result.detected
+        )
+        for member in members:
+            bucket.add(member.fault_id)
+
+    # ---- compaction ------------------------------------------------------
+    if compaction and tests:
+        detected_rep_faults = [
+            f for f in reps if f.fault_id in detected_reps
+        ]
+        tests = compact_tests(circuit, cells, detected_rep_faults, tests)
+    result.tests = tests
+    result.runtime = time.monotonic() - start
+    return result
+
+
+def _unpack_pair(
+    circuit: Circuit, batch: PatternBatch, bit: int
+) -> TestPair:
+    v1 = {pi: (batch.frame1[pi] >> bit) & 1 for pi in circuit.inputs}
+    v2 = {pi: (batch.frame2[pi] >> bit) & 1 for pi in circuit.inputs}
+    return v1, v2

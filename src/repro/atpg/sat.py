@@ -1,0 +1,368 @@
+"""A CDCL SAT solver.
+
+Implements the standard modern architecture: two-watched-literal
+propagation, first-UIP conflict analysis with clause learning,
+non-chronological backjumping, VSIDS-style decaying activities with a
+lazy heap, phase saving, and geometric restarts.  Written for the
+instance profile of circuit ATPG (tens of thousands of small clauses,
+shallow proofs) — undetectable faults produce genuine UNSAT results.
+
+The public API uses DIMACS-style signed literals (variable ``v`` has
+positive literal ``v``, negative ``-v``); internally literals are encoded
+unsigned as ``2*v`` / ``2*v + 1`` so the hot paths avoid sign handling.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Sequence
+
+SAT = True
+UNSAT = False
+
+_UNDEF = 2  # value code for unassigned (0 = false, 1 = true)
+
+
+def _enc(lit: int) -> int:
+    return (lit << 1) if lit > 0 else ((-lit) << 1) | 1
+
+
+def _dec(elit: int) -> int:
+    var = elit >> 1
+    return -var if elit & 1 else var
+
+
+class Solver:
+    """CDCL SAT solver; construct, :meth:`add_clause`, :meth:`solve`."""
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.clauses: List[List[int]] = []  # encoded literals
+        self._watches: List[List[int]] = [[], []]  # per encoded literal
+        self._val = bytearray([_UNDEF, _UNDEF])  # per encoded literal
+        self._level: List[int] = [0]
+        self._reason: List[Optional[int]] = [None]
+        self._trail: List[int] = []  # encoded literals
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        self._activity: List[float] = [0.0]
+        self._var_inc = 1.0
+        self._heap: List[tuple] = []  # (-activity, var) lazy entries
+        self._phase = bytearray([0])
+        self._ok = True
+        self.model: List[int] = []
+        self._model_map: dict = {}
+        self._learnt: List[int] = []  # indices of learned clauses
+        self.conflicts = 0
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        self.num_vars += 1
+        self._val.extend((_UNDEF, _UNDEF))
+        self._watches.append([])
+        self._watches.append([])
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._phase.append(0)
+        heapq.heappush(self._heap, (0.0, self.num_vars))
+        return self.num_vars
+
+    def add_clause(self, lits: Sequence[int]) -> bool:
+        """Add a clause (signed literals); False if trivially UNSAT."""
+        if not self._ok:
+            return False
+        seen = set()
+        clause: List[int] = []
+        for lit in lits:
+            e = _enc(lit)
+            if e ^ 1 in seen:
+                return True  # tautology
+            if e not in seen:
+                seen.add(e)
+                clause.append(e)
+        val = self._val
+        filtered: List[int] = []
+        for e in clause:
+            v = val[e]
+            if v == 1:  # satisfied at level 0 (we only add at level 0)
+                return True
+            if v == 0:
+                continue
+            filtered.append(e)
+        if not filtered:
+            self._ok = False
+            return False
+        if len(filtered) == 1:
+            if not self._enqueue(filtered[0], None):
+                self._ok = False
+                return False
+            if self._propagate() is not None:
+                self._ok = False
+                return False
+            return True
+        idx = len(self.clauses)
+        self.clauses.append(filtered)
+        self._watches[filtered[0]].append(idx)
+        self._watches[filtered[1]].append(idx)
+        return True
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def solve(self, assumptions: Sequence[int] = ()) -> bool:
+        """Decide satisfiability; fills :attr:`model` on SAT."""
+        if not self._ok:
+            return UNSAT
+        self._backtrack(0)
+        if self._propagate() is not None:
+            self._ok = False
+            return UNSAT
+        enc_assumps = [_enc(a) for a in assumptions]
+        restart_limit = 100
+        conflicts_here = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                conflicts_here += 1
+                if len(self._trail_lim) <= len(enc_assumps):
+                    self._backtrack(0)
+                    if not enc_assumps:
+                        self._ok = False
+                    return UNSAT
+                learnt, back_level = self._analyze(conflict)
+                if back_level < len(enc_assumps):
+                    back_level = len(enc_assumps)
+                self._backtrack(back_level)
+                self._record_learnt(learnt)
+                self._var_inc /= 0.95
+                if conflicts_here >= restart_limit:
+                    conflicts_here = 0
+                    restart_limit = int(restart_limit * 1.5)
+                    self._backtrack(
+                        min(len(enc_assumps), len(self._trail_lim))
+                    )
+                continue
+            if len(self._trail_lim) < len(enc_assumps):
+                # Place the next assumption as a pseudo-decision.
+                e = enc_assumps[len(self._trail_lim)]
+                v = self._val[e]
+                if v == 0:
+                    self._backtrack(0)
+                    return UNSAT
+                self._trail_lim.append(len(self._trail))
+                if v != 1:
+                    self._enqueue(e, None)
+                continue
+            lit = self._decide()
+            if lit is None:
+                self.model = [
+                    v if self._val[v << 1] == 1 else -v
+                    for v in range(1, self.num_vars + 1)
+                    if self._val[v << 1] != _UNDEF
+                ]
+                self._model_map = {abs(l): int(l > 0) for l in self.model}
+                self._backtrack(0)
+                return SAT
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(lit, None)
+
+    def value_of(self, var: int) -> Optional[int]:
+        """Model value of *var* after a SAT answer (None if don't-care)."""
+        return self._model_map.get(var)
+
+    def reduce_learnts(self, keep_max_size: int = 4) -> int:
+        """Drop long learned clauses to bound propagation cost.
+
+        Only call between solves (at decision level 0).  Clauses that are
+        the reason for a level-0 assignment are preserved.  Returns the
+        number of clauses deleted; deleted slots become None and their
+        watch entries are dropped lazily during propagation.
+        """
+        protected = {
+            self._reason[elit >> 1]
+            for elit in self._trail
+            if self._reason[elit >> 1] is not None
+        }
+        survivors: List[int] = []
+        deleted = 0
+        for ci in self._learnt:
+            clause = self.clauses[ci]
+            if clause is None:
+                continue
+            if ci in protected or len(clause) <= keep_max_size:
+                survivors.append(ci)
+            else:
+                self.clauses[ci] = None
+                deleted += 1
+        self._learnt = survivors
+        return deleted
+
+    # ------------------------------------------------------------------
+    # Internals (encoded literals throughout)
+    # ------------------------------------------------------------------
+    def _enqueue(self, elit: int, reason: Optional[int]) -> bool:
+        val = self._val
+        v = val[elit]
+        if v != _UNDEF:
+            return v == 1
+        val[elit] = 1
+        val[elit ^ 1] = 0
+        var = elit >> 1
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._phase[var] = 1 - (elit & 1)
+        self._trail.append(elit)
+        return True
+
+    def _propagate(self) -> Optional[int]:
+        val = self._val
+        watches = self._watches
+        clauses = self.clauses
+        trail = self._trail
+        while self._qhead < len(trail):
+            elit = trail[self._qhead]
+            self._qhead += 1
+            falsified = elit ^ 1
+            watching = watches[falsified]
+            if not watching:
+                continue
+            keep: List[int] = []
+            n = len(watching)
+            i = 0
+            while i < n:
+                ci = watching[i]
+                i += 1
+                clause = clauses[ci]
+                if clause is None:
+                    continue  # deleted learned clause: drop the watch
+                if clause[0] == falsified:
+                    clause[0] = clause[1]
+                    clause[1] = falsified
+                first = clause[0]
+                if val[first] == 1:
+                    keep.append(ci)
+                    continue
+                moved = False
+                for k in range(2, len(clause)):
+                    ck = clause[k]
+                    if val[ck] != 0:
+                        clause[1] = ck
+                        clause[k] = falsified
+                        watches[ck].append(ci)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                keep.append(ci)
+                # Unit or conflicting.
+                if val[first] == 0:
+                    keep.extend(watching[i:])
+                    watches[falsified] = keep
+                    return ci
+                self._enqueue(first, ci)
+            watches[falsified] = keep
+        return None
+
+    def _analyze(self, conflict_idx: int):
+        learnt: List[int] = [0]
+        seen = bytearray(self.num_vars + 1)
+        level = len(self._trail_lim)
+        levels = self._level
+        counter = 0
+        elit = None
+        clause = self.clauses[conflict_idx]
+        index = len(self._trail)
+        while True:
+            for q in clause:
+                if elit is not None and q == elit:
+                    continue
+                var = q >> 1
+                if not seen[var] and levels[var] > 0:
+                    seen[var] = 1
+                    self._bump(var)
+                    if levels[var] >= level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            while True:
+                index -= 1
+                elit = self._trail[index]
+                if seen[elit >> 1]:
+                    break
+            counter -= 1
+            seen[elit >> 1] = 0
+            if counter == 0:
+                learnt[0] = elit ^ 1
+                break
+            clause = self.clauses[self._reason[elit >> 1]]
+        if len(learnt) == 1:
+            back = 0
+        else:
+            back = max(levels[q >> 1] for q in learnt[1:])
+        return learnt, back
+
+    def _record_learnt(self, learnt: List[int]) -> None:
+        if len(learnt) == 1:
+            self._enqueue(learnt[0], None)
+            return
+        levels = self._level
+        best = max(
+            range(1, len(learnt)), key=lambda i: levels[learnt[i] >> 1]
+        )
+        learnt[1], learnt[best] = learnt[best], learnt[1]
+        idx = len(self.clauses)
+        self.clauses.append(learnt)
+        self._learnt.append(idx)
+        self._watches[learnt[0]].append(idx)
+        self._watches[learnt[1]].append(idx)
+        self._enqueue(learnt[0], idx)
+
+    def _backtrack(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        limit = self._trail_lim[level]
+        val = self._val
+        heap = self._heap
+        activity = self._activity
+        for elit in self._trail[limit:]:
+            val[elit] = _UNDEF
+            val[elit ^ 1] = _UNDEF
+            var = elit >> 1
+            self._reason[var] = None
+            heapq.heappush(heap, (-activity[var], var))
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    def _bump(self, var: int) -> None:
+        act = self._activity[var] + self._var_inc
+        self._activity[var] = act
+        if act > 1e100:
+            scale = 1e-100
+            for v in range(1, self.num_vars + 1):
+                self._activity[v] *= scale
+            self._var_inc *= scale
+        else:
+            heapq.heappush(self._heap, (-act, var))
+
+    def _decide(self) -> Optional[int]:
+        val = self._val
+        heap = self._heap
+        activity = self._activity
+        while heap:
+            neg_act, var = heapq.heappop(heap)
+            if val[var << 1] != _UNDEF:
+                continue
+            if -neg_act != activity[var]:
+                continue  # stale entry; a fresher one exists
+            return (var << 1) | (0 if self._phase[var] else 1)
+        # Heap exhausted: fall back to a linear scan (rare).
+        for var in range(1, self.num_vars + 1):
+            if val[var << 1] == _UNDEF:
+                return (var << 1) | (0 if self._phase[var] else 1)
+        return None
+    # NOTE: _decide returns an encoded literal; _enqueue consumes it.

@@ -1,0 +1,15 @@
+"""Benchmark circuit generators.
+
+The paper evaluates on OpenCores circuits and OpenSPARC T1 logic blocks.
+Neither RTL base is available offline, so this package generates
+gate-level combinational blocks of the same *flavor* — crypto S-box
+arrays, ALU/shifter datapaths, crossbar arbiters, priority/trap logic,
+load-store alignment, floating-point slices — at Python-ATPG-tractable
+sizes (see DESIGN.md for the substitution rationale).  All generators
+are deterministic given their parameters.
+"""
+
+from repro.bench.builder import NetBuilder
+from repro.bench.circuits import BENCHMARKS, build_benchmark
+
+__all__ = ["NetBuilder", "BENCHMARKS", "build_benchmark"]

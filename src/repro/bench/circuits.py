@@ -1,0 +1,600 @@
+"""Deterministic generators for the twelve benchmark circuits.
+
+Each generator mirrors the *flavor* of the corresponding circuit from the
+paper's Table II (OpenCores designs and OpenSPARC T1 blocks) at a
+Python-ATPG-tractable size; ``scale`` widens the datapaths.  Crypto
+circuits use the 4-bit PRESENT S-box and the real DES S1/S2 S-boxes
+instead of the 8-bit AES S-box, which keeps the mapped netlists in the
+hundreds-of-gates range (see DESIGN.md, substitution table).
+
+Every circuit includes a *checker / error-handling* section — parity
+prediction on adders, one-hot consistency checks on arbiters, shadow
+recomputation on shifters — whose fallback cones are unexercisable in
+fault-free operation.  Real blocks (OpenSPARC T1 prominently) carry the
+same parity/ECC structures, and they are the realistic source of the
+clustered undetectable DFM faults the paper studies in Section II.
+
+``build_benchmark`` runs the generator and then the full ``Synthesize()``
+mapping pass, so the returned netlist is an optimized, mapped design —
+the paper's premise for ``C_all``.  (Checker redundancy that synthesis
+can prove constant is removed by that pass, as a commercial flow would;
+what remains is the non-structurally-provable part.)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.bench.builder import NetBuilder
+from repro.library.osu018 import Library
+from repro.netlist.circuit import Circuit
+from repro.synthesis.synthesize import synthesize
+
+# The PRESENT cipher S-box (4 -> 4).
+PRESENT_SBOX = [
+    0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD,
+    0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2,
+]
+
+# DES S-boxes S1 and S2 (row = (b5 b0), col = b4..b1).
+_DES_S1_TABLE = [
+    [14, 4, 13, 1, 2, 15, 11, 8, 3, 10, 6, 12, 5, 9, 0, 7],
+    [0, 15, 7, 4, 14, 2, 13, 1, 10, 6, 12, 11, 9, 5, 3, 8],
+    [4, 1, 14, 8, 13, 6, 2, 11, 15, 12, 9, 7, 3, 10, 5, 0],
+    [15, 12, 8, 2, 4, 9, 1, 7, 5, 11, 3, 14, 10, 0, 6, 13],
+]
+_DES_S2_TABLE = [
+    [15, 1, 8, 14, 6, 11, 3, 4, 9, 7, 2, 13, 12, 0, 5, 10],
+    [3, 13, 4, 7, 15, 2, 8, 14, 12, 0, 1, 10, 6, 9, 11, 5],
+    [0, 14, 7, 11, 10, 4, 13, 1, 5, 8, 12, 6, 9, 3, 2, 15],
+    [13, 8, 10, 1, 3, 15, 4, 2, 11, 6, 7, 12, 0, 5, 14, 9],
+]
+
+
+def _des_flat(table: List[List[int]]) -> List[int]:
+    """Flatten a DES S-box to a 64-entry list indexed by b5..b0 (LSB=b0)."""
+    flat = [0] * 64
+    for idx in range(64):
+        row = ((idx >> 5) & 1) * 2 + (idx & 1)
+        col = (idx >> 1) & 0xF
+        flat[idx] = table[row][col]
+    return flat
+
+
+DES_S1 = _des_flat(_DES_S1_TABLE)
+DES_S2 = _des_flat(_DES_S2_TABLE)
+
+
+def _sbox4(nb: NetBuilder, bits: List[str]) -> List[str]:
+    return nb.lookup(bits, PRESENT_SBOX, 4)
+
+
+# ----------------------------------------------------------------------
+# OpenCores-flavored circuits
+# ----------------------------------------------------------------------
+def tv80_like(scale: int = 1) -> Circuit:
+    """8-bit microprocessor ALU with flags and parity-checked adder."""
+    w = 8 * scale
+    nb = NetBuilder("tv80")
+    a = nb.inputs("a", w)
+    b = nb.inputs("b", w)
+    op = nb.inputs("op", 3)
+    cin = nb.input("cin")
+    add_s, add_carries = nb.adder_with_carries(a, b, cin)
+    add_c = add_carries[-1]
+    sub_s, sub_c = nb.subtractor(a, b)
+    and_w = nb.and_word(a, b)
+    or_w = nb.or_word(a, b)
+    xor_w = nb.xor_word(a, b)
+    inc_s, _ = nb.adder(a, nb.constant_word(1, w))
+    rlc = [cin] + list(a[:-1])  # rotate left through carry
+    cpl = nb.not_word(a)
+    sel = nb.decoder(op)
+    result = nb.onehot_mux_word(
+        sel, [add_s, sub_s, and_w, or_w, xor_w, inc_s, rlc, cpl]
+    )
+    carry = nb.onehot_mux_word(
+        sel,
+        [[add_c], [sub_c], [nb.ZERO], [nb.ZERO],
+         [nb.ZERO], [nb.ZERO], [a[-1]], [nb.ONE]],
+    )[0]
+    # Two independent checkers guard disjoint result slices (with an
+    # unguarded gap), so their error-handling cones form separate
+    # undetectable-fault clusters.
+    k = w // 2
+    err_lo = nb.adder_parity_check(a, b, add_s, add_carries, cin, width=4)
+    _, sub_carries = nb.adder_with_carries(a, nb.not_word(b), cin=nb.ONE)
+    err_hi = nb.adder_parity_check(
+        a, nb.not_word(b), sub_s, sub_carries, cin=nb.ONE,
+        width=4, lo=k + 1,
+    )
+    guarded = (nb.guard_word(err_lo, result[:k])
+               + [result[k]]
+               + nb.guard_word(err_hi, result[k + 1:]))
+    zero = nb.not_(nb.reduce_or(guarded))
+    parity = nb.not_(nb.reduce_xor(guarded))
+    sign = guarded[-1]
+    nb.outputs(guarded, "f")
+    nb.output(carry, "flag_c")
+    nb.output(zero, "flag_z")
+    nb.output(parity, "flag_p")
+    nb.output(sign, "flag_s")
+    return nb.build()
+
+
+def systemcaes_like(scale: int = 1) -> Circuit:
+    """Substitution/permutation round slice (systemcaes flavor).
+
+    S-box layer, rotation-based mixing (whose total parity is invariantly
+    zero — the checker exploits that), round-key XOR.
+    """
+    n_nib = 4 * scale
+    nb = NetBuilder("systemcaes")
+    state = nb.inputs("s", 4 * n_nib)
+    key = nb.inputs("k", 4 * n_nib)
+    subbed: List[str] = []
+    for i in range(n_nib):
+        subbed.extend(_sbox4(nb, state[4 * i:4 * i + 4]))
+    mixed: List[str] = []
+    for i in range(n_nib):
+        cur = subbed[4 * i:4 * i + 4]
+        nxt = subbed[4 * ((i + 1) % n_nib):4 * ((i + 1) % n_nib) + 4]
+        rot = nxt[1:] + nxt[:1]
+        mixed.extend(nb.xor_word(cur, rot))
+    # Nibble-local mixing invariant: mixed nibble i is subbed nibble i
+    # XOR a permutation of subbed nibble i+1, so their joint parity is 0.
+    # Two independent nibble checkers guard disjoint halves.
+    def mix_err(i: int) -> str:
+        j = (i + 1) % n_nib
+        return nb.xor_(
+            nb.reduce_xor(mixed[4 * i:4 * i + 4]),
+            nb.xor_(
+                nb.linear_parity(subbed[4 * i:4 * i + 4]),
+                nb.linear_parity(subbed[4 * j:4 * j + 4]),
+            ),
+        )
+
+    # Guard the first nibble of each half only: the two checkers have
+    # fully disjoint transitive supports, so their clusters stay apart.
+    half = 4 * (n_nib // 2)
+    guarded = (
+        nb.guard_word(mix_err(0), mixed[0:4])
+        + mixed[4:half]
+        + nb.guard_word(mix_err(n_nib // 2), mixed[half:half + 4])
+        + mixed[half + 4:]
+    )
+    out = nb.xor_word(guarded, key)
+    nb.outputs(out, "o")
+    return nb.build()
+
+
+def aes_core_like(scale: int = 1) -> Circuit:
+    """Two-stage SP-network round (aes_core flavor) with a key-XOR
+    parity predictor between the stages."""
+    n_nib = 6 * scale
+    nb = NetBuilder("aes_core")
+    state = nb.inputs("s", 4 * n_nib)
+    key = nb.inputs("k", 4 * n_nib)
+    stage1: List[str] = []
+    for i in range(n_nib):
+        stage1.extend(_sbox4(nb, state[4 * i:4 * i + 4]))
+    keyed = nb.xor_word(stage1, key)
+    # Byte parity predictors: parity(keyed) == parity(stage1) ^
+    # parity(key) per byte; two slices give two separate clusters.
+    def key_err(lo: int, hi: int) -> str:
+        return nb.xor_(
+            nb.reduce_xor(keyed[lo:hi]),
+            nb.xor_(
+                nb.linear_parity(stage1[lo:hi]),
+                nb.linear_parity(key[lo:hi]),
+            ),
+        )
+
+    half = 4 * (n_nib // 2)
+    keyed = (
+        nb.guard_word(key_err(0, 6), keyed[:6])
+        + keyed[6:half]
+        + nb.guard_word(key_err(half, half + 6), keyed[half:half + 6])
+        + keyed[half + 6:]
+    )
+    perm: List[str] = []
+    # Shift-rows-style nibble rotation; stride n_nib - 1 is always
+    # coprime with n_nib, so this is a true permutation.
+    for i in range(n_nib):
+        src = (i * (n_nib - 1) + 1) % n_nib
+        perm.extend(keyed[4 * src:4 * src + 4])
+    stage2: List[str] = []
+    for i in range(n_nib):
+        stage2.extend(_sbox4(nb, perm[4 * i:4 * i + 4]))
+    out = nb.xor_word(stage2, state)
+    nb.outputs(out, "o")
+    return nb.build()
+
+
+def wb_conmax_like(scale: int = 1) -> Circuit:
+    """Wishbone crossbar slice: per-slave priority arbiter with one-hot
+    consistency checking + data mux."""
+    n_masters = 5
+    n_slaves = 2 * scale
+    width = 8
+    nb = NetBuilder("wb_conmax")
+    data = [nb.inputs(f"m{m}_d", width) for m in range(n_masters)]
+    reqs = [nb.inputs(f"m{m}_req", n_slaves) for m in range(n_masters)]
+    cyc = [nb.input(f"m{m}_cyc") for m in range(n_masters)]
+    for s in range(n_slaves):
+        wants = [
+            nb.and_(reqs[m][s], cyc[m]) for m in range(n_masters)
+        ]
+        grants = nb.priority_encoder(wants)
+        err = nb.onehot_violation(grants)
+        bus = nb.onehot_mux_word(grants, data)
+        any_grant = nb.reduce_or(grants)
+        guarded = nb.guard_word(err, bus[:4]) + bus[4:]
+        out = [nb.and_(bit, any_grant) for bit in guarded]
+        nb.outputs(out, f"s{s}_d")
+        nb.output(any_grant, f"s{s}_cyc")
+        nb.outputs(grants, f"s{s}_gnt")
+    return nb.build()
+
+
+def des_perf_like(scale: int = 1) -> Circuit:
+    """DES round slice: expansion + key XOR (parity-checked) + S1/S2 +
+    P-permutation."""
+    nb = NetBuilder("des_perf")
+    n_pairs = scale  # each pair = S1 + S2 on 12 expanded bits
+    right = nb.inputs("r", 8 * n_pairs)
+    left = nb.inputs("l", 8 * n_pairs)
+    key = nb.inputs("k", 12 * n_pairs)
+    out_bits: List[str] = []
+    for p in range(n_pairs):
+        r = right[8 * p:8 * p + 8]
+        expanded = [r[7], r[0], r[1], r[2], r[3], r[2],
+                    r[3], r[4], r[5], r[6], r[7], r[0]]
+        kslice = key[12 * p:12 * p + 12]
+        keyed = nb.xor_word(expanded, kslice)
+        # Two byte-parity predictors over disjoint halves of the keyed
+        # expansion, guarding disjoint slices.
+        def exp_err(lo: int, hi: int) -> str:
+            return nb.xor_(
+                nb.reduce_xor(keyed[lo:hi]),
+                nb.xor_(
+                    nb.linear_parity(expanded[lo:hi]),
+                    nb.linear_parity(kslice[lo:hi]),
+                ),
+            )
+
+        keyed = (nb.guard_word(exp_err(0, 6), keyed[:4])
+                 + keyed[4:6]
+                 + nb.guard_word(exp_err(6, 12), keyed[6:10])
+                 + keyed[10:])
+        s1 = nb.lookup(keyed[0:6], DES_S1, 4)
+        s2 = nb.lookup(keyed[6:12], DES_S2, 4)
+        sboxed = s1 + s2
+        perm = [sboxed[(3 * i + 2) % 8] for i in range(8)]
+        out_bits.extend(nb.xor_word(perm, left[8 * p:8 * p + 8]))
+    nb.outputs(out_bits, "o")
+    return nb.build()
+
+
+# ----------------------------------------------------------------------
+# OpenSPARC T1 block-flavored circuits
+# ----------------------------------------------------------------------
+def sparc_spu_like(scale: int = 1) -> Circuit:
+    """Stream processing unit slice: rotate + popcount + parity, with
+    the real popcount-LSB-equals-parity invariant as the checker."""
+    w = 12 * scale
+    nb = NetBuilder("sparc_spu")
+    x = nb.inputs("x", w)
+    rot = nb.inputs("rot", 2)
+    y = nb.inputs("y", w)
+    rotated = list(x)
+    for k, sel in enumerate(rot):
+        shift = 1 << k
+        moved = rotated[-shift:] + rotated[:-shift]
+        rotated = nb.mux_word(sel, moved, rotated)
+    mixed = nb.xor_word(rotated, y)
+
+    def popcount(bits: List[str]) -> List[str]:
+        if len(bits) == 1:
+            return [bits[0]]
+        half = len(bits) // 2
+        a = popcount(bits[:half])
+        b = popcount(bits[half:])
+        width = max(len(a), len(b)) + 1
+        a = a + [nb.ZERO] * (width - len(a))
+        b = b + [nb.ZERO] * (width - len(b))
+        total, _ = nb.adder(a, b)
+        return total
+
+    count = popcount(mixed)
+    parity = nb.reduce_xor(mixed)
+    # Checkers: dedicated mini-popcounts over two disjoint 5-bit slices;
+    # each LSB is that slice's parity (narrow so the undetectability
+    # proofs stay cheap, disjoint so the clusters stay apart).
+    err_a = nb.xor_(popcount(mixed[:5])[0], nb.reduce_xor(mixed[:5]))
+    err_b = nb.xor_(
+        popcount(mixed[6:11])[0], nb.reduce_xor(mixed[6:11])
+    )
+    guarded = (nb.guard_word(err_a, mixed[:5])
+               + [mixed[5]]
+               + nb.guard_word(err_b, mixed[6:11])
+               + mixed[11:])
+    nb.outputs(guarded, "m")
+    nb.outputs(count, "cnt")
+    nb.output(parity, "par")
+    return nb.build()
+
+
+def sparc_ffu_like(scale: int = 1) -> Circuit:
+    """FP frontend slice: operand bypass + byte merge + checked adder."""
+    w = 8 * scale
+    nb = NetBuilder("sparc_ffu")
+    rs1 = nb.inputs("rs1", w)
+    rs2 = nb.inputs("rs2", w)
+    fwd = nb.inputs("fwd", w)
+    bypass1 = nb.input("byp1")
+    bypass2 = nb.input("byp2")
+    bmask = nb.inputs("bm", max(1, w // 4))
+    op_a = nb.mux_word(bypass1, fwd, rs1)
+    op_b = nb.mux_word(bypass2, fwd, rs2)
+    merged: List[str] = []
+    for i in range(w):
+        sel = bmask[min(i // 4, len(bmask) - 1)]
+        merged.append(nb.mux(sel, op_a[i], op_b[i]))
+    logical = nb.xor_word(op_a, op_b)
+    summed, carries = nb.adder_with_carries(op_a, op_b)
+    err_lo = nb.adder_parity_check(op_a, op_b, summed, carries, width=4)
+    err_hi = nb.adder_parity_check(
+        op_a, op_b, summed, carries, width=4, lo=w // 2,
+    )
+    checked = (nb.guard_word(err_lo, summed[:w // 2 - 1])
+               + [summed[w // 2 - 1]]
+               + nb.guard_word(err_hi, summed[w // 2:]))
+    use_sum = nb.input("use_sum")
+    result = nb.mux_word(use_sum, checked, merged)
+    nb.outputs(result, "o")
+    nb.outputs(logical, "lg")
+    nb.output(carries[-1], "cout")
+    return nb.build()
+
+
+def sparc_exu_like(scale: int = 1) -> Circuit:
+    """Execution unit: ALU + barrel shifter + condition codes, with a
+    parity-predicted adder."""
+    w = 8 * scale
+    nb = NetBuilder("sparc_exu")
+    a = nb.inputs("a", w)
+    b = nb.inputs("b", w)
+    op = nb.inputs("op", 2)
+    shamt = nb.inputs("sh", 3)
+    do_shift = nb.input("do_shift")
+    shift_dir = nb.input("dir")
+    add_s, add_carries = nb.adder_with_carries(a, b)
+    add_c = add_carries[-1]
+    sub_s, sub_c = nb.subtractor(a, b)
+    logic_and = nb.and_word(a, b)
+    logic_xor = nb.xor_word(a, b)
+    sel = nb.decoder(op)
+    alu = nb.onehot_mux_word(sel, [add_s, sub_s, logic_and, logic_xor])
+    shl = nb.shift_left(a, shamt)
+    shr = nb.shift_right(a, shamt)
+    shifted = nb.mux_word(shift_dir, shl, shr)
+    result = nb.mux_word(do_shift, shifted, alu)
+    err_lo = nb.adder_parity_check(a, b, add_s, add_carries, width=4)
+    _, sub_carries = nb.adder_with_carries(a, nb.not_word(b), cin=nb.ONE)
+    err_hi = nb.adder_parity_check(
+        a, nb.not_word(b), sub_s, sub_carries, cin=nb.ONE,
+        width=4, lo=w // 2 + 1,
+    )
+    k = w // 2
+    result = (nb.guard_word(err_lo, result[:k])
+              + [result[k]]
+              + nb.guard_word(err_hi, result[k + 1:]))
+    zero = nb.not_(nb.reduce_or(result))
+    neg = result[-1]
+    ovf = nb.and_(
+        nb.xnor_(a[-1], b[-1]), nb.xor_(a[-1], add_s[-1])
+    )
+    nb.outputs(result, "r")
+    nb.output(zero, "cc_z")
+    nb.output(neg, "cc_n")
+    nb.output(ovf, "cc_v")
+    nb.output(nb.mux(sel[1], sub_c, add_c), "cc_c")
+    return nb.build()
+
+
+def sparc_ifu_like(scale: int = 1) -> Circuit:
+    """Instruction fetch slice: PC+4 (parity-checked), branch target,
+    taken logic, way select."""
+    w = 10 * scale
+    nb = NetBuilder("sparc_ifu")
+    pc = nb.inputs("pc", w)
+    offset = nb.inputs("off", w)
+    rs = nb.inputs("rs", w)
+    br_type = nb.inputs("bt", 2)
+    cc_z = nb.input("cc_z")
+    cc_n = nb.input("cc_n")
+    four = nb.constant_word(4, w)
+    seq, seq_carries = nb.adder_with_carries(pc, four)
+    target, _ = nb.adder(pc, offset)
+    sel = nb.decoder(br_type)  # never / eq / lt / always
+    taken = nb.reduce_or([
+        nb.and_(sel[1], cc_z),
+        nb.and_(sel[2], cc_n),
+        sel[3],
+    ])
+    use_reg = nb.input("use_reg")
+    tgt = nb.mux_word(use_reg, rs, target)
+    next_pc = nb.mux_word(taken, tgt, seq)
+    err_seq = nb.adder_parity_check(pc, four, seq, seq_carries, width=4)
+    _, tgt_carries = nb.adder_with_carries(pc, offset)
+    err_tgt = nb.adder_parity_check(
+        pc, offset, target, tgt_carries, width=4, lo=w // 2 + 1,
+    )
+    k = w // 2
+    next_pc = (nb.guard_word(err_seq, next_pc[:k])
+               + [next_pc[k]]
+               + nb.guard_word(err_tgt, next_pc[k + 1:]))
+    tag0 = nb.inputs("tag0", w // 2)
+    tag1 = nb.inputs("tag1", w // 2)
+    hit0 = nb.equals(tag0, next_pc[w // 2:])
+    hit1 = nb.equals(tag1, next_pc[w // 2:])
+    nb.outputs(next_pc, "npc")
+    nb.output(hit0, "hit0")
+    nb.output(nb.and_(hit1, nb.not_(hit0)), "hit1")
+    nb.output(taken, "taken")
+    return nb.build()
+
+
+def sparc_tlu_like(scale: int = 1) -> Circuit:
+    """Trap logic: masked priority resolution (one-hot checked) +
+    vector generation."""
+    n_traps = 8 * scale
+    nb = NetBuilder("sparc_tlu")
+    reqs = nb.inputs("trap", n_traps)
+    mask = nb.inputs("mask", n_traps)
+    enable = nb.input("en")
+    eff = [nb.and_(r, nb.not_(m)) for r, m in zip(reqs, mask)]
+    eff = [nb.and_(e, enable) for e in eff]
+    grants = nb.priority_encoder(eff)
+    half = n_traps // 2
+    err_lo = nb.onehot_violation(grants[:half + 1])
+    err_hi = nb.onehot_violation(grants[half:])
+    vecs = [
+        nb.constant_word(0x10 + 7 * i, 8) for i in range(n_traps)
+    ]
+    raw_vec = nb.onehot_mux_word(grants, vecs)
+    vector = (nb.guard_word(err_lo, raw_vec[:4])
+              + nb.guard_word(err_hi, raw_vec[4:]))
+    any_trap = nb.reduce_or(grants)
+    nb.outputs(grants, "g")
+    nb.outputs(vector, "vec")
+    nb.output(any_trap, "take")
+    return nb.build()
+
+
+def sparc_lsu_like(scale: int = 1) -> Circuit:
+    """Load/store slice: alignment, byte enables, sign extension, with a
+    shadow alignment shifter cross-checking the primary one."""
+    w = 8 * scale
+    nb = NetBuilder("sparc_lsu")
+    addr = nb.inputs("adr", 4)
+    size = nb.inputs("sz", 2)  # byte / half / word
+    data = nb.inputs("d", w)
+    signed = nb.input("sgn")
+    sel = nb.decoder(addr[:2])
+    size_sel = nb.decoder(size)
+    be: List[str] = []
+    for i in range(4):
+        b = nb.and_(size_sel[0], sel[i])
+        h = nb.and_(size_sel[1], sel[i & 2])
+        wd = nb.or_(size_sel[2], size_sel[3])
+        be.append(nb.reduce_or([b, h, wd]))
+    aligned = nb.shift_right(data, addr[:2])
+    # Shadow shifter with reversed stage order (same function).
+    shadow = list(data)
+    for k in (1, 0):
+        shift = 1 << k
+        moved = list(shadow[shift:]) + [nb.ZERO] * min(shift, len(shadow))
+        shadow = nb.mux_word(addr[k], moved[:len(shadow)], shadow)
+    mismatch = nb.xor_word(aligned, shadow)
+    err_lo = nb.reduce_or(mismatch[:w // 2])
+    err_hi = nb.reduce_or(mismatch[w // 2:])
+    aligned = (nb.guard_word(err_lo, aligned[:w // 2 - 1])
+               + [aligned[w // 2 - 1]]
+               + nb.guard_word(err_hi, aligned[w // 2:]))
+    sign_bit = nb.and_(signed, aligned[w // 2 - 1])
+    extended = list(aligned[:w // 2]) + [
+        nb.mux(size_sel[0], sign_bit, bit)
+        for bit in aligned[w // 2:]
+    ]
+    misaligned = nb.or_(
+        nb.and_(size_sel[1], addr[0]),
+        nb.and_(wd, nb.reduce_or(addr[:2])),
+    )
+    nb.outputs(extended, "ld")
+    nb.outputs(be, "be")
+    nb.output(misaligned, "trap_ma")
+    return nb.build()
+
+
+def sparc_fpu_like(scale: int = 1) -> Circuit:
+    """FP adder slice: exponent compare, mantissa align, parity-checked
+    add, normalize."""
+    em = 4  # exponent bits
+    wm = 5 * scale  # mantissa bits
+    nb = NetBuilder("sparc_fpu")
+    ea = nb.inputs("ea", em)
+    eb = nb.inputs("eb", em)
+    ma = nb.inputs("ma", wm)
+    mb = nb.inputs("mb", wm)
+    sub = nb.input("sub")
+    diff, _ = nb.subtractor(ea, eb)
+    a_smaller = nb.less_than(ea, eb)
+    ndiff, _ = nb.subtractor(eb, ea)
+    amt = nb.mux_word(a_smaller, ndiff[:3], diff[:3])
+    small = nb.mux_word(a_smaller, ma, mb)
+    big = nb.mux_word(a_smaller, mb, ma)
+    aligned = nb.shift_right(small, amt)
+    op_b = nb.mux_word(sub, nb.not_word(aligned), aligned)
+    total, carries = nb.adder_with_carries(big, op_b, cin=sub)
+    err_add = nb.adder_parity_check(
+        big, op_b, total, carries, cin=sub, width=4,
+    )
+    # Exponent-order consistency: a < b and a == b are exclusive.
+    err_cmp = nb.and_(a_smaller, nb.equals(ea, eb))
+    k = wm // 2
+    total = (nb.guard_word(err_add, total[:k])
+             + nb.guard_word(err_cmp, total[k:]))
+    lead = nb.priority_encoder(list(reversed(total)))
+    enc: List[str] = []
+    for bit in range(3):
+        terms = [
+            lead[i] for i in range(len(lead)) if (i >> bit) & 1
+        ]
+        enc.append(nb.reduce_or(terms) if terms else nb.ZERO)
+    normalized = nb.shift_left(total, enc)
+    exp_big = nb.mux_word(a_smaller, eb, ea)
+    nb.outputs(normalized, "m")
+    nb.outputs(exp_big, "e")
+    nb.output(carries[-1], "cout")
+    nb.output(nb.reduce_or(total), "nonzero")
+    return nb.build()
+
+
+# ----------------------------------------------------------------------
+BENCHMARKS: Dict[str, Callable[[int], Circuit]] = {
+    "tv80": tv80_like,
+    "systemcaes": systemcaes_like,
+    "aes_core": aes_core_like,
+    "wb_conmax": wb_conmax_like,
+    "des_perf": des_perf_like,
+    "sparc_spu": sparc_spu_like,
+    "sparc_ffu": sparc_ffu_like,
+    "sparc_exu": sparc_exu_like,
+    "sparc_ifu": sparc_ifu_like,
+    "sparc_tlu": sparc_tlu_like,
+    "sparc_lsu": sparc_lsu_like,
+    "sparc_fpu": sparc_fpu_like,
+}
+
+
+def build_benchmark(
+    name: str,
+    library: Library,
+    scale: int = 1,
+    optimize: bool = True,
+) -> Circuit:
+    """Generate a benchmark netlist, mapped and optimized on *library*."""
+    try:
+        generator = BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {sorted(BENCHMARKS)}"
+        ) from None
+    raw = generator(scale)
+    if not optimize:
+        return raw
+    mapped = synthesize(raw, library, objective="area")
+    mapped.name = name
+    return mapped

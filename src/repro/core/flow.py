@@ -1,0 +1,180 @@
+"""One iteration of the design flow, bundled as a :class:`DesignState`.
+
+``analyze_design`` runs: physical design (on a fixed floorplan when
+given) -> DFM fault extraction (internal + external) -> exact ATPG ->
+clustering of the undetectable faults.  The resynthesis procedure
+(Section III) moves between design states, comparing their metrics.
+
+``count_undetectable_internal`` is the cheap pre-physical-design check of
+Section III-B: "PDesign() is called only when the number of undetectable
+internal faults decreases in the resynthesized circuit" — internal
+faults do not depend on placement and routing, so they can be classified
+on the netlist alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.atpg.compaction import TestPair
+from repro.atpg.engine import AtpgResult, run_atpg
+from repro.core.clustering import ClusterReport, cluster_undetectable
+from repro.dfm.guidelines import Guideline
+from repro.dfm.translate import build_fault_set
+from repro.faults.model import Fault
+from repro.faults.sites import FaultSet, enumerate_internal_faults
+from repro.library.osu018 import Library
+from repro.netlist.circuit import Circuit
+from repro.physical.floorplan import Floorplan
+from repro.physical.pdesign import PhysicalDesign, pdesign
+from repro.physical.placement import PlacementError
+
+
+@dataclass
+class DesignState:
+    """A placed-and-routed design plus its complete DFM fault analysis."""
+
+    circuit: Circuit
+    physical: PhysicalDesign
+    fault_set: FaultSet
+    atpg: AtpgResult
+    clusters: ClusterReport
+
+    @property
+    def n_faults(self) -> int:
+        return len(self.fault_set)
+
+    @property
+    def undetectable_faults(self) -> List[Fault]:
+        return [
+            f for f in self.fault_set
+            if f.fault_id in self.atpg.undetectable
+        ]
+
+    @property
+    def u_total(self) -> int:
+        return len(self.atpg.undetectable)
+
+    @property
+    def u_internal(self) -> int:
+        return sum(
+            1 for f in self.fault_set.internal
+            if f.fault_id in self.atpg.undetectable
+        )
+
+    @property
+    def u_external(self) -> int:
+        return self.u_total - self.u_internal
+
+    @property
+    def coverage(self) -> float:
+        return self.atpg.coverage
+
+    @property
+    def smax_size(self) -> int:
+        return len(self.clusters.smax)
+
+    @property
+    def smax_fraction_of_f(self) -> float:
+        """|S_max| / |F| — the paper's %Smax_all (as a fraction)."""
+        if self.n_faults == 0:
+            return 0.0
+        return self.smax_size / self.n_faults
+
+    @property
+    def tests(self) -> List[TestPair]:
+        return self.atpg.tests
+
+    def undetectable_behaviour_keys(self) -> set:
+        """Behaviour keys of the undetectable faults.
+
+        Detection is a functional property, so these verdicts remain
+        valid on any functionally-equivalent revision of the circuit in
+        which the key's referenced gate/net names survive unchanged
+        (replaced-region objects get fresh names and never match) — the
+        sound status-inheritance used to make resynthesis iterations
+        cheap.
+        """
+        from repro.faults.collapse import behaviour_key
+
+        return {behaviour_key(f) for f in self.undetectable_faults}
+
+    @property
+    def delay(self) -> float:
+        return self.physical.delay
+
+    @property
+    def power(self) -> float:
+        return self.physical.total_power
+
+
+def analyze_design(
+    circuit: Circuit,
+    library: Library,
+    floorplan: Optional[Floorplan] = None,
+    seed: int = 0,
+    utilization: float = 0.70,
+    guidelines: Optional[Sequence[Guideline]] = None,
+    initial_tests: Optional[Sequence[TestPair]] = None,
+    atpg_seed: int = 0,
+    assume_undetectable: Optional[set] = None,
+    physical: Optional[PhysicalDesign] = None,
+) -> DesignState:
+    """Run physical design + DFM fault extraction + ATPG + clustering.
+
+    *initial_tests* and *assume_undetectable* (behaviour keys from a
+    previous functionally-equivalent design state) make re-analysis
+    after a local resynthesis step cheap; see
+    :meth:`DesignState.undetectable_behaviour_keys`.  A precomputed
+    *physical* design (e.g. from an early constraint check) is reused
+    instead of placing and routing again.
+
+    Raises :class:`~repro.physical.placement.PlacementError` if the
+    circuit does not fit *floorplan* (a die-area constraint violation).
+    """
+    cells = {c.name: c for c in library}
+    if physical is None:
+        physical = pdesign(
+            circuit, cells, floorplan=floorplan, seed=seed,
+            utilization=utilization,
+        )
+    fault_set = build_fault_set(circuit, library, physical.layout, guidelines)
+    atpg = run_atpg(
+        circuit, cells, fault_set.faults,
+        seed=atpg_seed, initial_tests=initial_tests,
+        assume_undetectable=assume_undetectable,
+    )
+    undetectable = [
+        f for f in fault_set if f.fault_id in atpg.undetectable
+    ]
+    clusters = cluster_undetectable(circuit, undetectable)
+    return DesignState(
+        circuit=circuit,
+        physical=physical,
+        fault_set=fault_set,
+        atpg=atpg,
+        clusters=clusters,
+    )
+
+
+def count_undetectable_internal(
+    circuit: Circuit,
+    library: Library,
+    initial_tests: Optional[Sequence[TestPair]] = None,
+    atpg_seed: int = 0,
+    assume_undetectable: Optional[set] = None,
+) -> int:
+    """Number of undetectable internal faults of the bare netlist.
+
+    This is the fast pre-PDesign check: internal faults only depend on
+    the netlist, not on placement/routing.
+    """
+    cells = {c.name: c for c in library}
+    internal = enumerate_internal_faults(circuit, library)
+    atpg = run_atpg(
+        circuit, cells, internal,
+        seed=atpg_seed, initial_tests=initial_tests, compaction=False,
+        assume_undetectable=assume_undetectable,
+    )
+    return len(atpg.undetectable)

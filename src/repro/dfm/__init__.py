@@ -1,0 +1,36 @@
+"""DFM guideline engine.
+
+The paper uses "19 guidelines in the *Via* category, 29 guidelines in the
+*Metal* category, and 11 guidelines in the *Density* category" evaluated
+by a commercial sign-off package.  We define parameterized geometric
+guidelines of the same three families over our layout model, a checker
+that reports violation sites, and the translation of those sites into
+external logic faults (stuck-at + transition for likely opens, dominant
+bridging pairs for likely shorts).
+
+Cell-*internal* guideline flagging happens in :mod:`repro.library.defects`
+(sites are enumerated per cell type); this package owns the external
+(layout) side and the combined fault-set assembly.
+"""
+
+from repro.dfm.guidelines import (
+    DENSITY,
+    Guideline,
+    METAL,
+    VIA,
+    all_guidelines,
+)
+from repro.dfm.checker import LayoutViolation, check_layout
+from repro.dfm.translate import external_faults_from_violations, build_fault_set
+
+__all__ = [
+    "DENSITY",
+    "Guideline",
+    "METAL",
+    "VIA",
+    "all_guidelines",
+    "LayoutViolation",
+    "check_layout",
+    "external_faults_from_violations",
+    "build_fault_set",
+]

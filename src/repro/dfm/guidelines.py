@@ -1,0 +1,114 @@
+"""Parameterized DFM guideline definitions.
+
+Each guideline is a geometric predicate over the layout with a *rule kind*
+and thresholds.  The counts match the paper's setup: 19 Via, 29 Metal and
+11 Density guidelines.  Thresholds are spread so that stricter guidelines
+flag more sites — real decks behave the same way (recommended spacing and
+redundancy levels beyond the mandatory design rules).
+
+Rule kinds interpreted by :mod:`repro.dfm.checker`:
+
+* ``isolated_via``   — a bend/stem via with at most ``t`` other vias within
+  Chebyshev radius ``r`` (lonely vias are prone to partial voids) -> open.
+* ``crowded_via``    — a via with at least ``t`` other vias within radius
+  ``r`` (etch loading) -> open.
+* ``via_near_metal`` — a via within distance 1 of another net's segment on
+  the via's upper layer, with segment length at least ``t`` -> bridge.
+* ``parallel_run``   — two same-layer segments of different nets on
+  adjacent sub-tracks of the same channel with overlap >= ``t`` -> bridge.
+* ``long_wire``      — a segment of length >= ``t`` (line-end / notch
+  sensitivity accumulates with length) -> open.
+* ``many_crossings`` — a segment crossed by >= ``t`` other-net segments of
+  the orthogonal layer -> open (stress from crossing topology).
+* ``density_low``    — a ``w`` x ``w`` window with metal density below
+  ``lo``/100 (dishing risk) -> open on the window's nets.
+* ``density_high``   — a window with density above ``hi``/100 (bridging
+  risk) -> bridge between the window's closest net pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+VIA = "Via"
+METAL = "Metal"
+DENSITY = "Density"
+
+
+@dataclass(frozen=True)
+class Guideline:
+    """One DFM guideline: id, category, rule kind and parameters."""
+
+    gid: str
+    category: str
+    rule: str
+    params: Dict[str, int]
+    description: str
+
+
+def all_guidelines() -> List[Guideline]:
+    """The full deck: 19 Via + 29 Metal + 11 Density guidelines."""
+    deck: List[Guideline] = []
+
+    # ---- Via category (19) -------------------------------------------
+    for k, (t, r) in enumerate(
+        [(0, 4), (0, 5), (0, 6), (1, 6), (0, 7), (1, 7), (2, 7)], start=1
+    ):
+        deck.append(Guideline(
+            f"VIA-{k:02d}", VIA, "isolated_via", {"t": t, "r": r},
+            f"via with <= {t} neighbours within radius {r}",
+        ))
+    for k, (t, r) in enumerate(
+        [(20, 2), (26, 2), (32, 2), (42, 3), (54, 3), (68, 3)], start=8
+    ):
+        deck.append(Guideline(
+            f"VIA-{k:02d}", VIA, "crowded_via", {"t": t, "r": r},
+            f"via with >= {t} neighbours within radius {r}",
+        ))
+    for k, t in enumerate([150, 130, 110, 92, 75, 60], start=14):
+        deck.append(Guideline(
+            f"VIA-{k:02d}", VIA, "via_near_metal", {"t": t},
+            f"via adjacent to foreign metal of length >= {t}",
+        ))
+
+    # ---- Metal category (29) -----------------------------------------
+    for k, t in enumerate(
+        [96, 84, 74, 65, 57, 50, 44, 39, 35, 31, 28, 25, 22, 19, 17, 15],
+        start=1,
+    ):
+        deck.append(Guideline(
+            f"MET-{k:02d}", METAL, "parallel_run", {"t": t},
+            f"adjacent-track parallel run >= {t}",
+        ))
+    for k, t in enumerate([130, 112, 96, 82, 69, 57, 46, 37], start=17):
+        deck.append(Guideline(
+            f"MET-{k:02d}", METAL, "long_wire", {"t": t},
+            f"wire segment of length >= {t}",
+        ))
+    for k, t in enumerate([56, 46, 37, 29, 22], start=25):
+        deck.append(Guideline(
+            f"MET-{k:02d}", METAL, "many_crossings", {"t": t},
+            f"segment crossed by >= {t} foreign wires",
+        ))
+
+    # ---- Density category (11) ---------------------------------------
+    for k, (w, lo) in enumerate(
+        [(8, 2), (8, 4), (12, 3), (12, 5), (16, 4), (16, 6)], start=1
+    ):
+        deck.append(Guideline(
+            f"DEN-{k:02d}", DENSITY, "density_low", {"w": w, "lo": lo},
+            f"{w}x{w} window with density < {lo}%",
+        ))
+    for k, (w, hi) in enumerate(
+        [(8, 80), (8, 65), (12, 60), (12, 48), (16, 42)], start=7
+    ):
+        deck.append(Guideline(
+            f"DEN-{k:02d}", DENSITY, "density_high", {"w": w, "hi": hi},
+            f"{w}x{w} window with density > {hi}%",
+        ))
+
+    assert len([g for g in deck if g.category == VIA]) == 19
+    assert len([g for g in deck if g.category == METAL]) == 29
+    assert len([g for g in deck if g.category == DENSITY]) == 11
+    return deck

@@ -1,0 +1,56 @@
+"""Fault collapsing.
+
+Distinct physical defect sites frequently share one logical behaviour
+(e.g. several contact-open sites on the same transistor, or the same net
+flagged by two metal guidelines).  ATPG only needs one representative per
+behaviour class; counts (F, U, clusters) always use the full site list.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.faults.model import (
+    BridgingFault,
+    CellAwareFault,
+    Fault,
+    StuckAtFault,
+    TransitionFault,
+)
+
+
+def behaviour_key(fault: Fault) -> Tuple:
+    """Hashable key identifying a fault's logical behaviour.
+
+    Faults with equal keys are logically identical on a given circuit.
+    Because fault detection is a *functional* property, a key's
+    detected/undetectable status survives any functionally-equivalent
+    local resynthesis that leaves the key's referenced objects (gate /
+    net names) in place — the basis of the status inheritance used by
+    the resynthesis flow.
+    """
+    if isinstance(fault, CellAwareFault):
+        return ("ca", fault.gate, fault.defect.signature)
+    if isinstance(fault, StuckAtFault):
+        return ("sa", fault.net, fault.value, fault.branch)
+    if isinstance(fault, TransitionFault):
+        return ("tr", fault.net, fault.slow_to, fault.branch)
+    if isinstance(fault, BridgingFault):
+        return ("br", fault.victim, fault.aggressor)
+    raise TypeError(type(fault).__name__)
+
+
+_behaviour_key = behaviour_key  # internal alias
+
+
+def collapse_faults(faults: Iterable[Fault]) -> Dict[Fault, List[Fault]]:
+    """Group faults by identical logical behaviour.
+
+    Returns {representative: [all faults in the class]} with the
+    representative being the first-seen fault of each class; iteration
+    order is deterministic given a deterministic input order.
+    """
+    classes: Dict[Tuple, List[Fault]] = {}
+    for fault in faults:
+        classes.setdefault(_behaviour_key(fault), []).append(fault)
+    return {members[0]: members for members in classes.values()}

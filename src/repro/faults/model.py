@@ -1,0 +1,139 @@
+"""Fault classes.
+
+Every fault knows the DFM guideline that produced it and whether it is
+*internal* (inside a standard cell — a :class:`CellAwareFault` carrying a
+switch-level defect response) or *external* (on gate pins and nets —
+stuck-at, transition, or dominant bridging).
+
+``corresponding_gates`` implements the paper's Section II definition: a
+gate corresponds to an internal fault located inside it, and to an
+external fault located on its inputs or outputs (so stem faults and
+bridges correspond to several gates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+from repro.library.defects import CellDefect
+from repro.netlist.circuit import Circuit
+
+INTERNAL = "internal"
+EXTERNAL = "external"
+
+RISE = "rise"
+FALL = "fall"
+
+
+@dataclass(frozen=True)
+class Fault:
+    """Base fault: a unique id plus provenance."""
+
+    fault_id: str
+    guideline: str
+
+    @property
+    def origin(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class StuckAtFault(Fault):
+    """Net (or branch) permanently at *value*.
+
+    ``branch`` is ``(gate, pin)`` for an open that only disconnects one
+    sink; ``None`` means a stem fault affecting every sink of the net.
+    """
+
+    net: str = ""
+    value: int = 0
+    branch: Optional[Tuple[str, str]] = None
+
+    @property
+    def origin(self) -> str:
+        return EXTERNAL
+
+
+@dataclass(frozen=True)
+class TransitionFault(Fault):
+    """Slow-to-rise / slow-to-fall at a net or branch (enhanced scan)."""
+
+    net: str = ""
+    slow_to: str = RISE
+    branch: Optional[Tuple[str, str]] = None
+
+    @property
+    def origin(self) -> str:
+        return EXTERNAL
+
+    @property
+    def initial_value(self) -> int:
+        """Frame-1 site value (0 before a rising transition)."""
+        return 0 if self.slow_to == RISE else 1
+
+    @property
+    def stuck_value(self) -> int:
+        """Frame-2 equivalent stuck-at value."""
+        return 0 if self.slow_to == RISE else 1
+
+
+@dataclass(frozen=True)
+class BridgingFault(Fault):
+    """Dominant bridge: *victim* net takes the *aggressor* net's value."""
+
+    victim: str = ""
+    aggressor: str = ""
+
+    @property
+    def origin(self) -> str:
+        return EXTERNAL
+
+
+@dataclass(frozen=True)
+class CellAwareFault(Fault):
+    """A cell-internal defect on one gate instance (UDFM-modeled)."""
+
+    gate: str = ""
+    defect: CellDefect = None  # type: ignore[assignment]
+
+    @property
+    def origin(self) -> str:
+        return INTERNAL
+
+
+def _net_gates(circuit: Circuit, net: str) -> FrozenSet[str]:
+    """Driver and load gates of a net."""
+    gates = {g for g, _pin in circuit.loads(net)}
+    drv = circuit.driver(net)
+    if drv is not None:
+        gates.add(drv)
+    return frozenset(gates)
+
+
+def corresponding_gates(fault: Fault, circuit: Circuit) -> FrozenSet[str]:
+    """The set of gates that correspond to *fault* (Section II).
+
+    Internal faults correspond to exactly one gate.  External stem faults
+    correspond to the net's driver and all loads; branch faults to the
+    driver and the branch's gate; bridging faults to the gates of both
+    shorted nets.  Gates no longer present in *circuit* are dropped (a
+    fault enumerated on an older version of the design).
+    """
+    if isinstance(fault, CellAwareFault):
+        return frozenset({fault.gate}) if fault.gate in circuit.gates else frozenset()
+    if isinstance(fault, (StuckAtFault, TransitionFault)):
+        if fault.branch is not None:
+            gates = set()
+            drv = circuit.driver(fault.net)
+            if drv is not None:
+                gates.add(drv)
+            if fault.branch[0] in circuit.gates:
+                gates.add(fault.branch[0])
+            return frozenset(gates)
+        return _net_gates(circuit, fault.net)
+    if isinstance(fault, BridgingFault):
+        return _net_gates(circuit, fault.victim) | _net_gates(
+            circuit, fault.aggressor
+        )
+    raise TypeError(f"unknown fault type {type(fault).__name__}")

@@ -1,0 +1,42 @@
+"""Standard cell library substrate.
+
+Models each cell at three levels:
+
+* **logic** — truth table + pin names (what synthesis/simulation need);
+* **electrical** — area, input capacitance, drive resistance, intrinsic
+  delay, leakage (what physical design / STA / power need);
+* **switch** — a transistor-level series/parallel CMOS network (what the
+  cell-internal DFM defect enumeration and UDFM extraction need).
+
+The concrete library (:mod:`repro.library.osu018`) mirrors the 21-cell
+combinational subset of the OSU 0.18um library used in the paper.
+"""
+
+from repro.library.transistor import (
+    Expr,
+    SwitchNetwork,
+    Stage,
+    lit,
+    par,
+    ser,
+)
+from repro.library.defects import CellDefect, enumerate_cell_defects
+from repro.library.cell import StandardCell
+from repro.library.osu018 import osu018_library, Library
+from repro.library.udfm import UdfmEntry, extract_udfm
+
+__all__ = [
+    "Expr",
+    "SwitchNetwork",
+    "Stage",
+    "lit",
+    "par",
+    "ser",
+    "CellDefect",
+    "enumerate_cell_defects",
+    "StandardCell",
+    "osu018_library",
+    "Library",
+    "UdfmEntry",
+    "extract_udfm",
+]

@@ -1,0 +1,82 @@
+"""The standard cell abstraction shared by all subsystems."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.library.defects import CellDefect, enumerate_cell_defects
+from repro.library.transistor import SwitchNetwork
+
+
+@dataclass
+class StandardCell:
+    """One library cell with logic, electrical and switch-level views.
+
+    Electrical units are arbitrary but internally consistent:
+
+    * ``area`` — layout area (um^2-ish); drives die capacity checks;
+    * ``input_cap`` — capacitance of each input pin (fF);
+    * ``drive_res`` — equivalent output drive resistance (ps/fF);
+    * ``intrinsic_delay`` — unloaded cell delay (ps);
+    * ``leakage`` — static leakage power (nW).
+
+    ``tt`` is always derived from the switch network, so the logic and
+    transistor views can never disagree.
+    """
+
+    name: str
+    input_pins: Tuple[str, ...]
+    output_pin: str
+    network: SwitchNetwork
+    area: float
+    input_cap: float
+    drive_res: float
+    intrinsic_delay: float
+    leakage: float
+    drive: int = 1
+    flag_rate: int = 60
+    tt: int = field(init=False)
+    _defects: Optional[List[CellDefect]] = field(
+        init=False, default=None, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.network.inputs != self.input_pins:
+            raise ValueError(
+                f"{self.name}: switch network inputs {self.network.inputs} "
+                f"!= declared pins {self.input_pins}"
+            )
+        self.tt = self.network.good_tt()
+
+    @property
+    def n_inputs(self) -> int:
+        return len(self.input_pins)
+
+    def internal_defects(self) -> List[CellDefect]:
+        """DFM-flagged, cell-level-testable internal defects (cached)."""
+        if self._defects is None:
+            self._defects = enumerate_cell_defects(
+                self.name, self.network, self.drive, self.flag_rate
+            )
+        return self._defects
+
+    @property
+    def internal_fault_count(self) -> int:
+        """Number of internal DFM faults each instance of this cell adds."""
+        return len(self.internal_defects())
+
+    def eval_minterm(self, minterm: int) -> int:
+        """Fault-free output (0/1) for one input minterm."""
+        return (self.tt >> minterm) & 1
+
+    def minterm_of(self, assignment: Tuple[int, ...]) -> int:
+        """Pack an input assignment (pin order) into a minterm index."""
+        m = 0
+        for i, bit in enumerate(assignment):
+            if bit:
+                m |= 1 << i
+        return m
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StandardCell({self.name}, {self.n_inputs} in, tt=0x{self.tt:x})"

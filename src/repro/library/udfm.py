@@ -1,0 +1,75 @@
+"""User-defined fault model (UDFM) extraction.
+
+Ref [9] of the paper represents translated gate-level faults as *input and
+output patterns of a cell*; ref [11] calls this the user defined fault
+model.  This module derives those entries from the switch-level defect
+responses:
+
+* a **static** entry is a single cell-input pattern plus the faulty output
+  value it exposes;
+* a **dynamic** entry is an (initialization, test) pattern pair for defects
+  whose output floats — the test pattern's good output differs from the
+  value the floating node retains from the initialization pattern.
+
+The ATPG engine consumes the defect responses directly; UDFM entries are
+the reporting/interchange view (examples and tests use them too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.library.cell import StandardCell
+from repro.library.defects import DYNAMIC
+
+
+@dataclass(frozen=True)
+class UdfmEntry:
+    """One detecting condition at the cell boundary."""
+
+    cell: str
+    defect_id: str
+    kind: str  # "static" | "dynamic"
+    init_pattern: Tuple[int, ...] | None  # None for static entries
+    test_pattern: Tuple[int, ...]
+    faulty_output: int
+    good_output: int
+
+
+def _unpack(minterm: int, n: int) -> Tuple[int, ...]:
+    return tuple((minterm >> i) & 1 for i in range(n))
+
+
+def extract_udfm(cell: StandardCell) -> List[UdfmEntry]:
+    """Extract every UDFM entry for every internal defect of *cell*."""
+    entries: List[UdfmEntry] = []
+    n = cell.n_inputs
+    for defect in cell.internal_defects():
+        for m in defect.static_detecting_minterms(cell.tt):
+            entries.append(
+                UdfmEntry(
+                    cell=cell.name,
+                    defect_id=defect.defect_id,
+                    kind="static",
+                    init_pattern=None,
+                    test_pattern=_unpack(m, n),
+                    faulty_output=defect.faulty[m],  # type: ignore[arg-type]
+                    good_output=cell.eval_minterm(m),
+                )
+            )
+        if defect.kind == DYNAMIC:
+            for m0, m1 in defect.dynamic_detecting_pairs(cell.tt):
+                retained = defect.faulty[m0]
+                entries.append(
+                    UdfmEntry(
+                        cell=cell.name,
+                        defect_id=defect.defect_id,
+                        kind="dynamic",
+                        init_pattern=_unpack(m0, n),
+                        test_pattern=_unpack(m1, n),
+                        faulty_output=retained,  # type: ignore[arg-type]
+                        good_output=cell.eval_minterm(m1),
+                    )
+                )
+    return entries

@@ -1,0 +1,36 @@
+"""Gate-level netlist substrate.
+
+Defines the :class:`~repro.netlist.circuit.Circuit` data model used by every
+other subsystem, a bit-parallel logic simulator, subcircuit extraction and
+replacement (the surgery primitives used by the resynthesis procedure), and
+a human-readable structural netlist format.
+"""
+
+from repro.netlist.circuit import (
+    CONST0,
+    CONST1,
+    CellDef,
+    Circuit,
+    Gate,
+    NetlistError,
+    extract_subcircuit,
+    replace_subcircuit,
+)
+from repro.netlist.simulator import compile_cell_eval, simulate, simulate_patterns
+from repro.netlist.io import parse_netlist, write_netlist
+
+__all__ = [
+    "CONST0",
+    "CONST1",
+    "CellDef",
+    "Circuit",
+    "Gate",
+    "NetlistError",
+    "extract_subcircuit",
+    "replace_subcircuit",
+    "compile_cell_eval",
+    "simulate",
+    "simulate_patterns",
+    "parse_netlist",
+    "write_netlist",
+]

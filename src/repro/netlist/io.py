@@ -1,0 +1,85 @@
+"""Structural netlist text format.
+
+A deliberately simple line-oriented format::
+
+    circuit adder
+    input a b cin
+    output sum cout
+    gate U1 XOR2X1 A=a B=b > n1
+    gate U2 XOR2X1 A=n1 B=cin > sum
+    ...
+
+``input``/``output`` lines may repeat and accumulate.  ``#`` starts a
+comment.  Gate output nets follow the ``>`` marker; input pins are
+``PIN=net`` pairs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.netlist.circuit import Circuit, NetlistError
+
+
+def write_netlist(circuit: Circuit) -> str:
+    """Serialize *circuit* to the text format."""
+    lines: List[str] = [f"circuit {circuit.name}"]
+    if circuit.inputs:
+        lines.append("input " + " ".join(circuit.inputs))
+    if circuit.outputs:
+        lines.append("output " + " ".join(circuit.outputs))
+    for gname in circuit.topo_order():
+        gate = circuit.gates[gname]
+        pins = " ".join(f"{p}={n}" for p, n in sorted(gate.pins.items()))
+        lines.append(f"gate {gname} {gate.cell} {pins} > {gate.output}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_netlist(text: str) -> Circuit:
+    """Parse the text format into a :class:`Circuit`."""
+    circuit: Circuit | None = None
+    outputs: List[str] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        kind = tokens[0]
+        try:
+            if kind == "circuit":
+                circuit = Circuit(tokens[1])
+            elif kind == "input":
+                _require(circuit, lineno)
+                for name in tokens[1:]:
+                    circuit.add_input(name)
+            elif kind == "output":
+                _require(circuit, lineno)
+                outputs.extend(tokens[1:])
+            elif kind == "gate":
+                _require(circuit, lineno)
+                name, cell = tokens[1], tokens[2]
+                arrow = tokens.index(">")
+                pins = {}
+                for pair in tokens[3:arrow]:
+                    pin, _, net = pair.partition("=")
+                    if not net:
+                        raise NetlistError(f"bad pin spec {pair!r}")
+                    pins[pin] = net
+                if arrow + 2 != len(tokens):
+                    raise NetlistError("expected single output net after '>'")
+                circuit.add_gate(name, cell, pins, tokens[arrow + 1])
+            else:
+                raise NetlistError(f"unknown directive {kind!r}")
+        except (IndexError, ValueError) as exc:
+            raise NetlistError(f"line {lineno}: malformed line {line!r}") from exc
+    if circuit is None:
+        raise NetlistError("no 'circuit' line found")
+    circuit.set_outputs(outputs)
+    circuit.validate()
+    return circuit
+
+
+def _require(circuit: Circuit | None, lineno: int) -> Circuit:
+    if circuit is None:
+        raise NetlistError(f"line {lineno}: statement before 'circuit' header")
+    return circuit

@@ -1,0 +1,37 @@
+"""Physical design substrate: the paper's ``PDesign()`` primitive.
+
+Fixed-die row-based floorplanning (70% core utilization as in the paper's
+setup), seeded simulated-annealing placement, grid global routing with
+explicit metal segments and vias (the geometry the DFM guideline checker
+inspects), RC-annotated static timing analysis and a switching+leakage
+power model.
+
+``PDesign()`` returns a :class:`~repro.physical.pdesign.PhysicalDesign`
+carrying the layout plus the three constraint metrics the resynthesis
+procedure tracks: critical path delay, power consumption, and die area.
+"""
+
+from repro.physical.layout import Layout, PlacedGate, RouteSegment, Via
+from repro.physical.floorplan import Floorplan, make_floorplan
+from repro.physical.placement import place
+from repro.physical.routing import route
+from repro.physical.timing import TimingReport, static_timing
+from repro.physical.power import PowerReport, power_analysis
+from repro.physical.pdesign import PhysicalDesign, pdesign
+
+__all__ = [
+    "Layout",
+    "PlacedGate",
+    "RouteSegment",
+    "Via",
+    "Floorplan",
+    "make_floorplan",
+    "place",
+    "route",
+    "TimingReport",
+    "static_timing",
+    "PowerReport",
+    "power_analysis",
+    "PhysicalDesign",
+    "pdesign",
+]

@@ -1,0 +1,25 @@
+"""Logic synthesis substrate: the paper's ``Synthesize()`` primitive.
+
+Pipeline: netlist -> AIG (structural hashing + constant propagation) ->
+rewriting/balancing -> DAG-aware technology mapping restricted to an
+*allowed cell subset* -> netlist.  The allowed-subset restriction is what
+the resynthesis procedure uses to exclude the cells ``cell_0 .. cell_i``
+with the most internal DFM faults (Section III-B of the paper).
+"""
+
+from repro.synthesis.aig import Aig, aig_from_circuit
+from repro.synthesis.rewrite import balance, rewrite
+from repro.synthesis.techmap import MatchTable, TechmapError, map_aig
+from repro.synthesis.synthesize import is_complete_subset, synthesize
+
+__all__ = [
+    "Aig",
+    "aig_from_circuit",
+    "balance",
+    "rewrite",
+    "MatchTable",
+    "TechmapError",
+    "map_aig",
+    "is_complete_subset",
+    "synthesize",
+]

@@ -1,0 +1,7 @@
+"""Shared utilities: union-find, deterministic RNG, table formatting."""
+
+from repro.utils.unionfind import UnionFind
+from repro.utils.rng import make_rng
+from repro.utils.tables import format_table
+
+__all__ = ["UnionFind", "make_rng", "format_table"]

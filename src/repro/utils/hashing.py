@@ -1,0 +1,26 @@
+"""Process-stable string hashing with good avalanche behaviour.
+
+Python's built-in ``hash`` for strings is salted per process, so every
+deterministic pseudo-random decision in the library (DFM site flagging,
+guideline assignment, routing sub-track selection, open-defect polarity)
+goes through this function instead.  An FNV-style accumulation alone
+correlates badly on near-identical strings (site ids differ in one
+character), so a splitmix64 finalizer is applied for avalanche.
+"""
+
+from __future__ import annotations
+
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def stable_hash(text: str) -> int:
+    """Deterministic, well-mixed 64-bit hash of *text*."""
+    value = 0xCBF29CE484222325
+    for ch in text:
+        value ^= ord(ch)
+        value = (value * 0x100000001B3) & _MASK
+    # splitmix64 finalizer for avalanche.
+    value = (value + 0x9E3779B97F4A7C15) & _MASK
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK
+    return value ^ (value >> 31)

@@ -1,0 +1,24 @@
+"""Deterministic random number generation helpers.
+
+Every randomized component in the library (benchmark generators, placement
+annealing, random pattern fault simulation) takes an explicit seed so the
+whole pipeline is reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def make_rng(seed: int | str) -> random.Random:
+    """Return a private :class:`random.Random` seeded deterministically.
+
+    String seeds are hashed stably (Python's ``hash`` of str is salted per
+    process, so we fold characters explicitly instead).
+    """
+    if isinstance(seed, str):
+        value = 0
+        for ch in seed:
+            value = (value * 131 + ord(ch)) & 0xFFFFFFFFFFFF
+        seed = value
+    return random.Random(seed)

@@ -1,0 +1,76 @@
+"""Disjoint-set (union-find) with path compression and union by size.
+
+Used by :mod:`repro.core.clustering` to merge subsets of structurally
+adjacent undetectable faults (Section II of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List
+
+
+class UnionFind:
+    """Disjoint-set forest over arbitrary hashable items.
+
+    Items are added lazily on first use.  ``find`` applies path
+    compression; ``union`` merges by size, so the amortized cost per
+    operation is effectively constant.
+    """
+
+    def __init__(self, items: Iterable[Hashable] = ()) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._size: Dict[Hashable, int] = {}
+        for item in items:
+            self.add(item)
+
+    def add(self, item: Hashable) -> None:
+        """Register *item* as a singleton set if not already present."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def find(self, item: Hashable) -> Hashable:
+        """Return the canonical representative of *item*'s set."""
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> Hashable:
+        """Merge the sets containing *a* and *b*; return the new root."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return ra
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """Return True if *a* and *b* are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def set_size(self, item: Hashable) -> int:
+        """Return the size of the set containing *item*."""
+        return self._size[self.find(item)]
+
+    def groups(self) -> List[List[Hashable]]:
+        """Return all sets as lists, largest first (ties broken stably)."""
+        by_root: Dict[Hashable, List[Hashable]] = {}
+        for item in self._parent:
+            by_root.setdefault(self.find(item), []).append(item)
+        return sorted(by_root.values(), key=len, reverse=True)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._parent)

@@ -1,0 +1,62 @@
+"""Shared fixtures: the library, cell maps, and small reference circuits."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench.builder import NetBuilder
+from repro.library import osu018_library
+from repro.netlist import Circuit
+
+
+@pytest.fixture(scope="session")
+def library():
+    return osu018_library()
+
+
+@pytest.fixture(scope="session")
+def cells(library):
+    return {c.name: c for c in library}
+
+
+@pytest.fixture()
+def adder4(cells):
+    """A 4-bit ripple-carry adder built from library cells."""
+    nb = NetBuilder("adder4")
+    a = nb.inputs("a", 4)
+    b = nb.inputs("b", 4)
+    total, carry = nb.adder(a, b)
+    nb.outputs(total, "s")
+    nb.output(carry, "cout")
+    return nb.build()
+
+
+@pytest.fixture()
+def tiny_circuit():
+    """y = NAND(a, b), z = NOT(y) — the smallest multi-gate circuit."""
+    c = Circuit("tiny")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("u1", "NAND2X1", {"A": "a", "B": "b"}, "y")
+    c.add_gate("u2", "INVX1", {"A": "y"}, "z")
+    c.set_outputs(["y", "z"])
+    c.validate()
+    return c
+
+
+def random_mapped_circuit(cells, n_pi=8, n_gates=60, n_po=8, seed=0):
+    """A random (possibly dead-logic-containing) mapped netlist."""
+    rng = random.Random(seed)
+    c = Circuit(f"rand{seed}")
+    nets = [c.add_input(f"pi{i}") for i in range(n_pi)]
+    pool = list(cells.values())
+    for k in range(n_gates):
+        cell = rng.choice(pool)
+        pins = {p: rng.choice(nets[-30:]) for p in cell.input_pins}
+        c.add_gate(f"u{k}", cell.name, pins, f"w{k}")
+        nets.append(f"w{k}")
+    c.set_outputs(rng.sample(nets[n_pi:], min(n_po, n_gates)))
+    c.validate()
+    return c

@@ -1,0 +1,146 @@
+"""Property-based tests (hypothesis) on core data structures/invariants."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.atpg.cnf import _gate_clauses, _prime_implicants
+from repro.synthesis.aig import Aig
+from repro.synthesis.rewrite import shrink_tt, tt_support
+from repro.synthesis.techmap import _transform_tt
+
+
+class TestPrimeImplicantEncoding:
+    @given(st.integers(1, 4), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_clauses_characterize_function(self, n, data):
+        """The clause set of (n, tt) must be satisfied exactly by the
+        assignments where out == tt(inputs)."""
+        tt = data.draw(st.integers(0, (1 << (1 << n)) - 1))
+        clauses = _gate_clauses(n, tt)
+        for m in range(1 << n):
+            want = (tt >> m) & 1
+            for out in (0, 1):
+                bits = [(m >> i) & 1 for i in range(n)] + [out]
+                ok = all(
+                    any(bits[slot] == int(pol) for slot, pol in clause)
+                    for clause in clauses
+                )
+                assert ok == (out == want), (tt, m, out)
+
+    @given(st.integers(1, 4), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_primes_cover_onset_exactly(self, n, data):
+        minterms = data.draw(
+            st.lists(st.integers(0, (1 << n) - 1), unique=True)
+        )
+        primes = _prime_implicants(minterms, n)
+        covered = set()
+        for care, val in primes:
+            free = [i for i in range(n) if not (care >> i) & 1]
+            for combo in itertools.product([0, 1], repeat=len(free)):
+                m = val
+                for bit, i in zip(combo, free):
+                    if bit:
+                        m |= 1 << i
+                covered.add(m)
+        assert covered == set(minterms)
+
+
+class TestTruthTableOps:
+    @given(st.integers(1, 4), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_shrink_preserves_function(self, n, data):
+        tt = data.draw(st.integers(0, (1 << (1 << n)) - 1))
+        sup = tt_support(tt, n)
+        stt = shrink_tt(tt, n, sup)
+        # Evaluate both on every full minterm.
+        for m in range(1 << n):
+            packed = 0
+            for j, var in enumerate(sup):
+                if (m >> var) & 1:
+                    packed |= 1 << j
+            assert ((tt >> m) & 1) == ((stt >> packed) & 1)
+
+    @given(st.integers(1, 4), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_transform_tt_roundtrip(self, n, data):
+        """Applying a permutation+negation twice with its inverse is id."""
+        tt = data.draw(st.integers(0, (1 << (1 << n)) - 1))
+        perm = data.draw(st.permutations(range(n)))
+        neg = data.draw(st.integers(0, (1 << n) - 1))
+        once = _transform_tt(tt, n, perm, neg)
+        # Inverse permutation; negation mask mapped through perm.
+        inv = [0] * n
+        for j, p in enumerate(perm):
+            inv[p] = j
+        inv_neg = 0
+        for j in range(n):
+            if (neg >> j) & 1:
+                inv_neg |= 1 << perm[j]
+        assert _transform_tt(once, n, inv, inv_neg) == tt
+
+
+class TestAigInvariants:
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_strash_no_duplicate_ands(self, data):
+        n = data.draw(st.integers(2, 5))
+        aig = Aig(n)
+        lits = [aig.pi_lit(i) for i in range(n)]
+        rng = random.Random(data.draw(st.integers(0, 10 ** 6)))
+        for _ in range(40):
+            a, b = rng.choice(lits), rng.choice(lits) ^ rng.getrandbits(1)
+            lits.append(aig.and_(a, b))
+        seen = set()
+        for node in aig.and_nodes():
+            key = aig.fanins[node]
+            assert key not in seen
+            seen.add(key)
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_cleanup_preserves_outputs(self, data):
+        n = data.draw(st.integers(2, 5))
+        aig = Aig(n)
+        lits = [aig.pi_lit(i) for i in range(n)]
+        rng = random.Random(data.draw(st.integers(0, 10 ** 6)))
+        for _ in range(30):
+            a, b = rng.choice(lits), rng.choice(lits) ^ rng.getrandbits(1)
+            lits.append(aig.and_(a, b))
+        for k in range(3):
+            aig.add_output(rng.choice(lits), f"o{k}")
+        clean = aig.cleanup()
+        vals = [rng.getrandbits(32) for _ in range(n)]
+        assert aig.output_values(vals, (1 << 32) - 1) == \
+            clean.output_values(vals, (1 << 32) - 1)
+        assert clean.num_ands() <= aig.num_ands()
+
+
+class TestSimulatorVsAig:
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_netlist_sim_matches_aig_sim(self, data):
+        """Random mapped netlist: gate-level simulation must agree with
+        the AIG derived from it."""
+        from repro.library import osu018_library
+        from repro.netlist import simulate
+        from repro.synthesis import aig_from_circuit
+        from tests.conftest import random_mapped_circuit
+
+        cells = {c.name: c for c in osu018_library()}
+        seed = data.draw(st.integers(0, 10 ** 6))
+        circuit = random_mapped_circuit(cells, n_pi=6, n_gates=30, seed=seed)
+        aig = aig_from_circuit(circuit, cells)
+        rng = random.Random(seed + 1)
+        mask = (1 << 64) - 1
+        pi_vals = {pi: rng.getrandbits(64) for pi in circuit.inputs}
+        net_vals = simulate(circuit, cells, pi_vals, mask)
+        aig_out = aig.output_values(
+            [pi_vals[pi] for pi in circuit.inputs], mask
+        )
+        for po, val in zip(circuit.outputs, aig_out):
+            assert net_vals[po] == val

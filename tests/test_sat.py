@@ -1,0 +1,163 @@
+"""Tests for the CDCL SAT solver, including a brute-force cross-check."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.atpg import SAT, Solver, UNSAT
+
+
+def brute_force(n_vars, clauses):
+    for bits in itertools.product([False, True], repeat=n_vars):
+        ok = True
+        for clause in clauses:
+            if not any(
+                bits[abs(l) - 1] == (l > 0) for l in clause
+            ):
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+def check_model(solver, clauses):
+    assign = {abs(l): l > 0 for l in solver.model}
+    for clause in clauses:
+        assert any(assign.get(abs(l), False) == (l > 0) for l in clause), (
+            clause, solver.model,
+        )
+
+
+class TestBasics:
+    def test_empty_formula_sat(self):
+        s = Solver()
+        s.new_var()
+        assert s.solve() == SAT
+
+    def test_unit_propagation(self):
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([a])
+        s.add_clause([-a, b])
+        assert s.solve() == SAT
+        assert s.value_of(a) == 1
+        assert s.value_of(b) == 1
+
+    def test_trivial_unsat(self):
+        s = Solver()
+        a = s.new_var()
+        s.add_clause([a])
+        assert s.add_clause([-a]) is False
+        assert s.solve() == UNSAT
+
+    def test_tautology_ignored(self):
+        s = Solver()
+        a = s.new_var()
+        assert s.add_clause([a, -a]) is True
+        assert s.solve() == SAT
+
+    def test_duplicate_literals_collapse(self):
+        s = Solver()
+        a = s.new_var()
+        s.add_clause([a, a, a])
+        assert s.solve() == SAT
+        assert s.value_of(a) == 1
+
+    def test_pigeonhole_3_2_unsat(self):
+        # 3 pigeons, 2 holes: classic small UNSAT with real conflicts.
+        s = Solver()
+        v = [[s.new_var() for _ in range(2)] for _ in range(3)]
+        for p in range(3):
+            s.add_clause([v[p][0], v[p][1]])
+        for h in range(2):
+            for p1 in range(3):
+                for p2 in range(p1 + 1, 3):
+                    s.add_clause([-v[p1][h], -v[p2][h]])
+        assert s.solve() == UNSAT
+
+    def test_xor_chain_sat(self):
+        # x1 ^ x2 ^ x3 = 1 via CNF.
+        s = Solver()
+        x = [s.new_var() for _ in range(3)]
+        clauses = [
+            [x[0], x[1], x[2]],
+            [x[0], -x[1], -x[2]],
+            [-x[0], x[1], -x[2]],
+            [-x[0], -x[1], x[2]],
+        ]
+        for c in clauses:
+            s.add_clause(c)
+        assert s.solve() == SAT
+        check_model(s, clauses)
+
+
+class TestAssumptions:
+    def test_sat_under_assumption(self):
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([a, b])
+        assert s.solve([-a]) == SAT
+        assert s.value_of(b) == 1
+
+    def test_unsat_under_assumption_then_sat(self):
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([a, b])
+        s.add_clause([-a, b])
+        assert s.solve([-b]) == UNSAT
+        assert s.solve() == SAT  # solver remains usable
+
+    def test_conflicting_assumptions(self):
+        s = Solver()
+        a = s.new_var()
+        s.new_var()
+        assert s.solve([a, -a]) == UNSAT
+        assert s.solve() == SAT
+
+
+class TestRandomized:
+    @given(
+        st.integers(3, 9),
+        st.data(),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_against_brute_force(self, n_vars, data):
+        n_clauses = data.draw(st.integers(1, 28))
+        clauses = []
+        for _ in range(n_clauses):
+            width = data.draw(st.integers(1, 3))
+            clause = [
+                data.draw(st.integers(1, n_vars))
+                * (1 if data.draw(st.booleans()) else -1)
+                for _ in range(width)
+            ]
+            clauses.append(clause)
+        s = Solver()
+        for _ in range(n_vars):
+            s.new_var()
+        ok = True
+        for c in clauses:
+            ok = s.add_clause(c) and ok
+        result = s.solve() if ok else UNSAT
+        expected = brute_force(n_vars, clauses)
+        assert result == expected
+        if result == SAT:
+            check_model(s, clauses)
+
+    def test_large_random_3sat_near_threshold(self):
+        rng = random.Random(99)
+        n = 60
+        for trial in range(4):
+            s = Solver()
+            for _ in range(n):
+                s.new_var()
+            for _ in range(int(n * 4.0)):
+                clause = rng.sample(range(1, n + 1), 3)
+                clause = [v if rng.random() < 0.5 else -v for v in clause]
+                s.add_clause(clause)
+            s.solve()  # must terminate without error either way
