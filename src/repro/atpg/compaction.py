@@ -9,12 +9,13 @@ resynthesized designs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.faults.fsim import PatternBatch, fault_simulate
 from repro.faults.model import Fault
 from repro.library.cell import StandardCell
 from repro.netlist.circuit import Circuit
+from repro.utils.observability import EngineStats
 
 TestPair = Tuple[Dict[str, int], Dict[str, int]]
 
@@ -24,6 +25,9 @@ def compact_tests(
     cells: Mapping[str, StandardCell],
     faults: Sequence[Fault],
     tests: Sequence[TestPair],
+    *,
+    workers: int = 1,
+    stats: Optional[EngineStats] = None,
 ) -> List[TestPair]:
     """Reverse-order compaction of *tests* against *faults*."""
     if not tests:
@@ -35,7 +39,9 @@ def compact_tests(
     for start in range(0, n, word):
         chunk = tests[start:start + word]
         batch = PatternBatch.from_pairs(circuit, chunk)
-        words = fault_simulate(circuit, cells, faults, batch)
+        words = fault_simulate(
+            circuit, cells, faults, batch, workers=workers, stats=stats
+        )
         for fi, w in enumerate(words):
             detect[fi] |= w << start
     uncovered = [fi for fi, w in enumerate(detect) if w]

@@ -29,6 +29,7 @@ from repro.faults.fsim import PatternBatch, fault_simulate
 from repro.faults.model import Fault
 from repro.library.cell import StandardCell
 from repro.netlist.circuit import Circuit
+from repro.utils.observability import EngineStats
 from repro.utils.rng import make_rng
 
 
@@ -42,6 +43,7 @@ class AtpgResult:
     tests: List[TestPair] = field(default_factory=list)
     runtime: float = 0.0
     sat_calls: int = 0
+    stats: EngineStats = field(default_factory=EngineStats)
 
     @property
     def coverage(self) -> float:
@@ -64,6 +66,7 @@ def run_atpg(
     compaction: bool = True,
     initial_tests: Optional[Sequence[TestPair]] = None,
     assume_undetectable: Optional[AbstractSet] = None,
+    workers: int = 1,
 ) -> AtpgResult:
     """Classify *faults* on *circuit* and build a test set.
 
@@ -80,9 +83,15 @@ def run_atpg(
     the key's referenced gates/nets were outside the changed region;
     detection is a functional property, so those verdicts carry over
     without re-proof.
+
+    *workers* > 1 fault-partitions every fault-simulation batch across a
+    thread pool; the classification and test set are bit-identical to a
+    serial run with the same seed.  Engine effort counters and per-phase
+    wall times are recorded on ``result.stats``.
     """
     start = time.monotonic()
     result = AtpgResult(n_faults=len(faults))
+    stats = result.stats
     classes = collapse_faults(faults)
     reps: List[Fault] = list(classes)
     rng = make_rng(seed)
@@ -103,53 +112,62 @@ def run_atpg(
 
     # ---- seed with inherited tests --------------------------------------
     if initial_tests:
-        for start_i in range(0, len(initial_tests), batch_size):
-            chunk = list(initial_tests[start_i:start_i + batch_size])
-            batch = PatternBatch.from_pairs(circuit, chunk)
-            words = fault_simulate(circuit, cells, remaining, batch)
-            used: Dict[int, TestPair] = {}
+        with stats.phase("atpg.initial_tests"):
+            for start_i in range(0, len(initial_tests), batch_size):
+                chunk = list(initial_tests[start_i:start_i + batch_size])
+                batch = PatternBatch.from_pairs(circuit, chunk)
+                words = fault_simulate(
+                    circuit, cells, remaining, batch,
+                    workers=workers, stats=stats,
+                )
+                used: Dict[int, TestPair] = {}
+                still: List[Fault] = []
+                for fault, w in zip(remaining, words):
+                    if w:
+                        detected_reps.add(fault.fault_id)
+                        bit = (w & -w).bit_length() - 1
+                        used.setdefault(bit, chunk[bit])
+                    else:
+                        still.append(fault)
+                tests.extend(used[b] for b in sorted(used))
+                remaining = still
+
+    # ---- random phase --------------------------------------------------
+    quiet = 0
+    with stats.phase("atpg.random"):
+        for round_no in range(random_rounds):
+            if not remaining or quiet >= 2:
+                break
+            batch = PatternBatch.random(
+                circuit, batch_size, seed=rng.getrandbits(32)
+            )
+            words = fault_simulate(
+                circuit, cells, remaining, batch,
+                workers=workers, stats=stats,
+            )
+            new_pairs: Dict[int, TestPair] = {}
             still: List[Fault] = []
             for fault, w in zip(remaining, words):
                 if w:
                     detected_reps.add(fault.fault_id)
                     bit = (w & -w).bit_length() - 1
-                    used.setdefault(bit, chunk[bit])
+                    if bit not in new_pairs:
+                        new_pairs[bit] = _unpack_pair(circuit, batch, bit)
                 else:
                     still.append(fault)
-            tests.extend(used[b] for b in sorted(used))
-            remaining = still
-
-    # ---- random phase --------------------------------------------------
-    quiet = 0
-    for round_no in range(random_rounds):
-        if not remaining or quiet >= 2:
-            break
-        batch = PatternBatch.random(
-            circuit, batch_size, seed=rng.getrandbits(32)
-        )
-        words = fault_simulate(circuit, cells, remaining, batch)
-        new_pairs: Dict[int, TestPair] = {}
-        still: List[Fault] = []
-        for fault, w in zip(remaining, words):
-            if w:
-                detected_reps.add(fault.fault_id)
-                bit = (w & -w).bit_length() - 1
-                if bit not in new_pairs:
-                    new_pairs[bit] = _unpack_pair(circuit, batch, bit)
+            if new_pairs:
+                quiet = 0
+                tests.extend(new_pairs[b] for b in sorted(new_pairs))
             else:
-                still.append(fault)
-        if new_pairs:
-            quiet = 0
-            tests.extend(new_pairs[b] for b in sorted(new_pairs))
-        else:
-            quiet += 1
-        remaining = still
+                quiet += 1
+            remaining = still
 
     # ---- deterministic phase --------------------------------------------
     # One shared incremental solver: the good circuit is encoded once and
     # learned lemmas carry over between faults (see repro.atpg.incremental).
     # Faults are grouped by site so each shared site cone is encoded and
     # retired exactly once.
+    sat_start = time.monotonic()
     engine = IncrementalAtpg(circuit, cells)
     remaining.sort(
         key=lambda f: (engine._site_net(f) or "", f.fault_id)
@@ -178,11 +196,17 @@ def run_atpg(
             ]
             if todo:
                 batch = PatternBatch.from_pairs(circuit, pending_drop)
-                words = fault_simulate(circuit, cells, todo, batch)
+                words = fault_simulate(
+                    circuit, cells, todo, batch,
+                    workers=workers, stats=stats,
+                )
                 for f, w in zip(todo, words):
                     if w:
                         detected_reps.add(f.fault_id)
             pending_drop = []
+    stats.sat_calls = result.sat_calls
+    stats.sat_conflicts, stats.sat_propagations = engine.solver_effort()
+    stats.add_phase("atpg.sat", time.monotonic() - sat_start)
 
     # ---- expand classes to all member faults ----------------------------
     undetectable_reps = {
@@ -203,7 +227,11 @@ def run_atpg(
         detected_rep_faults = [
             f for f in reps if f.fault_id in detected_reps
         ]
-        tests = compact_tests(circuit, cells, detected_rep_faults, tests)
+        with stats.phase("atpg.compaction"):
+            tests = compact_tests(
+                circuit, cells, detected_rep_faults, tests,
+                workers=workers, stats=stats,
+            )
     result.tests = tests
     result.runtime = time.monotonic() - start
     return result

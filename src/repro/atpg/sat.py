@@ -54,6 +54,7 @@ class Solver:
         self._model_map: dict = {}
         self._learnt: List[int] = []  # indices of learned clauses
         self.conflicts = 0
+        self.propagations = 0  # literals whose watch lists were processed
 
     # ------------------------------------------------------------------
     # Problem construction
@@ -226,6 +227,7 @@ class Solver:
         while self._qhead < len(trail):
             elit = trail[self._qhead]
             self._qhead += 1
+            self.propagations += 1
             falsified = elit ^ 1
             watching = watches[falsified]
             if not watching:

@@ -14,8 +14,9 @@ on the netlist alone.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 from repro.atpg.compaction import TestPair
 from repro.atpg.engine import AtpgResult, run_atpg
@@ -29,6 +30,7 @@ from repro.netlist.circuit import Circuit
 from repro.physical.floorplan import Floorplan
 from repro.physical.pdesign import PhysicalDesign, pdesign
 from repro.physical.placement import PlacementError
+from repro.utils.observability import EngineStats
 
 
 @dataclass
@@ -40,6 +42,14 @@ class DesignState:
     fault_set: FaultSet
     atpg: AtpgResult
     clusters: ClusterReport
+    # Wall-clock per analysis stage (pdesign / fault extraction / ATPG /
+    # clustering), filled by :func:`analyze_design`.
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def stats(self) -> EngineStats:
+        """Engine effort counters of the ATPG run (see EngineStats)."""
+        return self.atpg.stats
 
     @property
     def n_faults(self) -> int:
@@ -120,6 +130,7 @@ def analyze_design(
     atpg_seed: int = 0,
     assume_undetectable: Optional[set] = None,
     physical: Optional[PhysicalDesign] = None,
+    workers: int = 1,
 ) -> DesignState:
     """Run physical design + DFM fault extraction + ATPG + clustering.
 
@@ -130,31 +141,47 @@ def analyze_design(
     *physical* design (e.g. from an early constraint check) is reused
     instead of placing and routing again.
 
+    *workers* > 1 parallelizes the fault-simulation batches inside ATPG
+    (results stay bit-identical to a serial run).  Per-stage wall times
+    land in ``DesignState.timings``; engine counters in
+    ``DesignState.stats``.
+
     Raises :class:`~repro.physical.placement.PlacementError` if the
     circuit does not fit *floorplan* (a die-area constraint violation).
     """
     cells = {c.name: c for c in library}
+    timings: Dict[str, float] = {}
+    t0 = time.monotonic()
     if physical is None:
         physical = pdesign(
             circuit, cells, floorplan=floorplan, seed=seed,
             utilization=utilization,
         )
+    timings["pdesign"] = time.monotonic() - t0
+    t0 = time.monotonic()
     fault_set = build_fault_set(circuit, library, physical.layout, guidelines)
+    timings["fault_extraction"] = time.monotonic() - t0
+    t0 = time.monotonic()
     atpg = run_atpg(
         circuit, cells, fault_set.faults,
         seed=atpg_seed, initial_tests=initial_tests,
         assume_undetectable=assume_undetectable,
+        workers=workers,
     )
+    timings["atpg"] = time.monotonic() - t0
+    t0 = time.monotonic()
     undetectable = [
         f for f in fault_set if f.fault_id in atpg.undetectable
     ]
     clusters = cluster_undetectable(circuit, undetectable)
+    timings["clustering"] = time.monotonic() - t0
     return DesignState(
         circuit=circuit,
         physical=physical,
         fault_set=fault_set,
         atpg=atpg,
         clusters=clusters,
+        timings=timings,
     )
 
 
@@ -164,6 +191,7 @@ def count_undetectable_internal(
     initial_tests: Optional[Sequence[TestPair]] = None,
     atpg_seed: int = 0,
     assume_undetectable: Optional[set] = None,
+    workers: int = 1,
 ) -> int:
     """Number of undetectable internal faults of the bare netlist.
 
@@ -176,5 +204,6 @@ def count_undetectable_internal(
         circuit, cells, internal,
         seed=atpg_seed, initial_tests=initial_tests, compaction=False,
         assume_undetectable=assume_undetectable,
+        workers=workers,
     )
     return len(atpg.undetectable)

@@ -16,12 +16,22 @@ Detection semantics per model (matching the ATPG encodings):
   table; minterms with unknown response give no detection credit;
 * cell-aware dynamic — floating minterms in frame 2 retain the frame-1
   driven faulty value; unknown/undriven cases give no credit.
+
+Performance architecture: all per-gate work (evaluator compilation, pin
+resolution, load lists) is hoisted into a cached
+:class:`~repro.netlist.simulator.CompiledCircuit` plan, nets are handled
+as dense integer indices, and good-machine values are served from a
+per-plan LRU so re-simulating a previously seen pattern batch skips the
+good simulation entirely.  ``workers=N`` fault-partitions a batch across
+a thread pool — chunks are balanced by output-cone size and merged by
+fault index, so results are bit-identical to the serial path.
 """
 
 from __future__ import annotations
 
-import heapq
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from heapq import heappop, heappush
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.faults.model import (
@@ -34,8 +44,13 @@ from repro.faults.model import (
 from repro.library.cell import StandardCell
 from repro.library.defects import CellDefect
 from repro.netlist.circuit import Circuit
-from repro.netlist.simulator import compile_cell_eval, simulate
+from repro.netlist.simulator import CompiledCircuit
+from repro.utils.observability import EngineStats
 from repro.utils.rng import make_rng
+
+# Below this many faults the thread-pool dispatch overhead outweighs any
+# win, so the serial path is used even when workers > 1.
+_MIN_PARALLEL_FAULTS = 8
 
 
 @dataclass
@@ -74,110 +89,161 @@ class PatternBatch:
 
 
 class _SimContext:
-    """Precomputed structures shared across the faults of one batch."""
+    """One batch's good-machine values over a shared compiled plan.
+
+    ``good1`` / ``good2`` are net-value vectors indexed by the plan's
+    dense net indices.  The context is read-only during propagation
+    except for the ``events`` counter, so worker threads operate on
+    cheap :meth:`fork` views that share the value vectors.
+    """
+
+    __slots__ = (
+        "plan", "mask", "good1", "good2", "scratch", "inq", "events",
+    )
 
     def __init__(
         self,
-        circuit: Circuit,
-        cells: Mapping[str, StandardCell],
-        batch: PatternBatch,
+        plan: CompiledCircuit,
+        mask: int,
+        good1: List[int],
+        good2: List[int],
     ):
-        self.circuit = circuit
-        self.cells = cells
-        self.mask = batch.mask
-        self.good1 = simulate(circuit, cells, batch.frame1, self.mask)
-        self.good2 = simulate(circuit, cells, batch.frame2, self.mask)
-        self.topo_index = {
-            g: i for i, g in enumerate(circuit.topo_order())
-        }
-        self.po_set = set(circuit.outputs)
+        self.plan = plan
+        self.mask = mask
+        self.good1 = good1
+        self.good2 = good2
+        # Working copy of good2 for propagation: faulty values are
+        # written in place (direct list indexing beats a side dict on
+        # the hot path) and restored from the touched list afterwards.
+        self.scratch = list(good2)
+        # In-queue flags per gate; all zero between propagations.
+        self.inq = bytearray(len(plan.gate_out))
+        self.events = 0
 
-    def gate_inputs(self, gate_name: str, values: Mapping[str, int],
-                    base: Mapping[str, int]) -> List[int]:
-        gate = self.circuit.gates[gate_name]
-        cell = self.cells[gate.cell]
-        return [
-            values.get(gate.pins[p], base[gate.pins[p]])
-            for p in cell.input_pins
-        ]
+    def fork(self) -> "_SimContext":
+        """Per-worker view sharing the (read-only) good values."""
+        return _SimContext(self.plan, self.mask, self.good1, self.good2)
 
     def propagate(
-        self, overrides: Dict[str, int], activation: int
+        self, overrides: Dict[int, int], activation: int
     ) -> int:
         """Propagate faulty net values (frame 2); return the detect word.
 
-        *overrides* seeds faulty values on nets; *activation* masks the
-        patterns for which the fault is active at its site.
+        *overrides* seeds faulty values on nets (by net index);
+        *activation* masks the patterns for which the fault is active at
+        its site.
         """
         if not activation:
             return 0
-        circuit, good = self.circuit, self.good2
-        fv: Dict[str, int] = {}
+        plan = self.plan
+        good = self.good2
+        mask = self.mask
+        loads_of = plan.loads_of
+        is_po = plan.is_po
+        values = self.scratch  # equals good outside propagation
+        inq = self.inq  # all zero here; zeroed again by the pops below
+        touched: List[int] = []
         detect = 0
-        heap: List[Tuple[int, str]] = []
-        queued = set()
-
-        def schedule_loads(net: str) -> None:
-            for gname, _pin in circuit.loads(net):
-                if gname not in queued:
-                    queued.add(gname)
-                    heapq.heappush(heap, (self.topo_index[gname], gname))
-
+        heap: List[int] = []
+        push = heappush
+        pop = heappop
         for net, value in overrides.items():
-            value &= self.mask
-            if value != (good[net] & self.mask):
-                fv[net] = value
-                if net in self.po_set:
+            value &= mask
+            if value != values[net]:
+                values[net] = value
+                touched.append(net)
+                if is_po[net]:
                     detect |= (value ^ good[net])
-                schedule_loads(net)
+                for gi in loads_of[net]:
+                    if not inq[gi]:
+                        inq[gi] = 1
+                        push(heap, gi)
+        gate_eval = plan.gate_eval
+        gate_out = plan.gate_out
+        events = 0
+        # Pops come in topo order and a gate's fanin is complete before
+        # its index is reached, so each gate is pushed at most once and
+        # clearing its flag at pop time keeps `inq` zeroed for the next
+        # propagation.
         while heap:
-            _, gname = heapq.heappop(heap)
-            gate = circuit.gates[gname]
-            if gate.output in overrides:
+            gi = pop(heap)
+            inq[gi] = 0
+            events += 1
+            out = gate_out[gi]
+            if out in overrides:
                 continue  # the fault site itself stays forced
-            cell = self.cells[gate.cell]
-            fn = compile_cell_eval(len(cell.input_pins), cell.tt)
-            ins = [
-                fv.get(gate.pins[p], good[gate.pins[p]])
-                for p in cell.input_pins
-            ]
-            new = fn(*ins, self.mask)
-            old = fv.get(gate.output, good[gate.output])
+            new = gate_eval[gi](values, mask)
+            old = values[out]
             if new == old:
                 continue
-            fv[gate.output] = new
-            if gate.output in self.po_set:
-                detect |= (new ^ good[gate.output])
-            queued.discard(gname)
-            schedule_loads(gate.output)
+            if old == good[out]:
+                touched.append(out)  # first deviation: remember to restore
+            values[out] = new
+            if is_po[out]:
+                detect |= (new ^ good[out])
+                if detect & activation == activation:
+                    # Every activated pattern already observed a
+                    # difference — nothing downstream can add more.
+                    for gj in heap:
+                        inq[gj] = 0
+                    break
+            for gj in loads_of[out]:
+                if not inq[gj]:
+                    inq[gj] = 1
+                    push(heap, gj)
+        for net in touched:
+            values[net] = good[net]
+        self.events += events
         return detect & activation
+
+
+def _make_context(
+    circuit: Circuit,
+    cells: Mapping[str, StandardCell],
+    batch: PatternBatch,
+    stats: Optional[EngineStats] = None,
+) -> _SimContext:
+    """Context for one batch, with plan and good-value caching."""
+    plan = CompiledCircuit.get(circuit, cells, stats=stats)
+    key = (
+        batch.n,
+        tuple(batch.frame1.get(pi, 0) for pi in plan.pi_order),
+        tuple(batch.frame2.get(pi, 0) for pi in plan.pi_order),
+    )
+    good1, good2 = plan.good_values(
+        key, (batch.frame1, batch.frame2), batch.mask, stats=stats
+    )
+    return _SimContext(plan, batch.mask, good1, good2)
 
 
 def _branch_overrides(
     ctx: _SimContext, net: str, branch: Optional[Tuple[str, str]],
     forced: int,
-) -> Tuple[Dict[str, int], bool]:
+) -> Tuple[Dict[int, int], bool]:
     """Faulty seed values for a stem or branch fault forced to *forced*.
 
     For a branch fault only the branch gate sees the forced value: we
     recompute that gate's output with the forced input and seed it.
-    Returns (overrides, ok) — ok is False if the branch no longer exists.
+    Returns (overrides by net index, ok) — ok is False if the branch no
+    longer exists.
     """
+    plan = ctx.plan
     if branch is None:
-        return {net: forced}, True
+        return {plan.net_index[net]: forced}, True
     gname, pin = branch
-    gate = ctx.circuit.gates.get(gname)
+    gate = plan.circuit.gates.get(gname)
     if gate is None or gate.pins.get(pin) != net:
         return {}, False
-    cell = ctx.cells[gate.cell]
-    fn = compile_cell_eval(len(cell.input_pins), cell.tt)
+    gi = plan.gate_index[gname]
+    cell = plan.cells[gate.cell]
+    fn = plan.gate_fn[gi]
     ins = []
-    for p in cell.input_pins:
+    for p, idx in zip(cell.input_pins, plan.gate_in[gi]):
         if p == pin:
             ins.append(forced & ctx.mask)
         else:
-            ins.append(ctx.good2[gate.pins[p]])
-    return {gate.output: fn(*ins, ctx.mask)}, True
+            ins.append(ctx.good2[idx])
+    return {plan.gate_out[gi]: fn(*ins, ctx.mask)}, True
 
 
 def _cell_faulty_word(
@@ -225,68 +291,148 @@ def _cell_faulty_word(
     return out & mask
 
 
-def fault_simulate(
-    circuit: Circuit,
-    cells: Mapping[str, StandardCell],
-    faults: Sequence[Fault],
-    batch: PatternBatch,
-) -> List[int]:
-    """Per-fault detect words (bit i set = pair i detects the fault)."""
-    ctx = _SimContext(circuit, cells, batch)
-    results: List[int] = []
-    for fault in faults:
-        results.append(_simulate_one(ctx, fault))
-    return results
-
-
 def _simulate_one(ctx: _SimContext, fault: Fault) -> int:
     mask = ctx.mask
-    circuit = ctx.circuit
+    plan = ctx.plan
+    net_index = plan.net_index
     if isinstance(fault, StuckAtFault):
-        if fault.net not in ctx.good2:
+        idx = net_index.get(fault.net)
+        if idx is None:
             return 0
         forced = mask if fault.value else 0
         overrides, ok = _branch_overrides(ctx, fault.net, fault.branch, forced)
         if not ok:
             return 0
-        good = ctx.good2[fault.net]
+        good = ctx.good2[idx]
         activation = (good ^ forced) & mask
         return ctx.propagate(overrides, activation)
     if isinstance(fault, TransitionFault):
-        if fault.net not in ctx.good2:
+        idx = net_index.get(fault.net)
+        if idx is None:
             return 0
         init = mask if fault.initial_value else 0
-        initialized = ~(ctx.good1[fault.net] ^ init) & mask
+        initialized = ~(ctx.good1[idx] ^ init) & mask
         if not initialized:
             return 0
         forced = mask if fault.stuck_value else 0
         overrides, ok = _branch_overrides(ctx, fault.net, fault.branch, forced)
         if not ok:
             return 0
-        activation = (ctx.good2[fault.net] ^ forced) & initialized
+        activation = (ctx.good2[idx] ^ forced) & initialized
         return ctx.propagate(overrides, activation)
     if isinstance(fault, BridgingFault):
-        if fault.victim not in ctx.good2 or fault.aggressor not in ctx.good2:
+        vi = net_index.get(fault.victim)
+        ai = net_index.get(fault.aggressor)
+        if vi is None or ai is None:
             return 0
-        aggr = ctx.good2[fault.aggressor]
-        activation = (ctx.good2[fault.victim] ^ aggr) & mask
-        return ctx.propagate({fault.victim: aggr}, activation)
+        aggr = ctx.good2[ai]
+        activation = (ctx.good2[vi] ^ aggr) & mask
+        return ctx.propagate({vi: aggr}, activation)
     if isinstance(fault, CellAwareFault):
-        gate = circuit.gates.get(fault.gate)
+        gate = plan.circuit.gates.get(fault.gate)
         if gate is None:
             return 0
-        cell = ctx.cells[gate.cell]
-        in2 = [ctx.good2[gate.pins[p]] for p in cell.input_pins]
-        good_out = ctx.good2[gate.output]
+        gi = plan.gate_index[fault.gate]
+        in_idx = plan.gate_in[gi]
+        out_idx = plan.gate_out[gi]
+        in2 = [ctx.good2[i] for i in in_idx]
+        good_out = ctx.good2[out_idx]
         frame1 = None
         if fault.defect.floating:
-            frame1 = [ctx.good1[gate.pins[p]] for p in cell.input_pins]
+            frame1 = [ctx.good1[i] for i in in_idx]
         faulty = _cell_faulty_word(
             fault.defect, in2, good_out, mask, frame1_words=frame1,
         )
         activation = (faulty ^ good_out) & mask
-        return ctx.propagate({gate.output: faulty}, activation)
+        return ctx.propagate({out_idx: faulty}, activation)
     raise TypeError(type(fault).__name__)
+
+
+def _fault_site_index(plan: CompiledCircuit, fault: Fault) -> Optional[int]:
+    """Net index whose output cone carries this fault's effect."""
+    if isinstance(fault, (StuckAtFault, TransitionFault)):
+        if fault.branch is not None:
+            gate = plan.circuit.gates.get(fault.branch[0])
+            return plan.net_index.get(gate.output) if gate else None
+        return plan.net_index.get(fault.net)
+    if isinstance(fault, BridgingFault):
+        return plan.net_index.get(fault.victim)
+    if isinstance(fault, CellAwareFault):
+        gate = plan.circuit.gates.get(fault.gate)
+        return plan.net_index.get(gate.output) if gate else None
+    return None
+
+
+def _partition_faults(
+    ctx: _SimContext, faults: Sequence[Fault], workers: int
+) -> List[List[int]]:
+    """LPT-partition fault indices into *workers* chunks by cone size.
+
+    Deterministic: faults are ordered by (cost desc, index asc) and each
+    is assigned to the least-loaded chunk (ties broken by chunk id).
+    """
+    cone = ctx.plan.cone_sizes()
+    costs: List[int] = []
+    for fault in faults:
+        idx = _fault_site_index(ctx.plan, fault)
+        costs.append(cone[idx] if idx is not None else 1)
+    order = sorted(range(len(faults)), key=lambda i: (-costs[i], i))
+    loads: List[int] = [0] * workers
+    chunks: List[List[int]] = [[] for _ in range(workers)]
+    heap = [(0, c) for c in range(workers)]
+    for i in order:
+        load, c = heappop(heap)
+        chunks[c].append(i)
+        heappush(heap, (load + costs[i], c))
+    for chunk in chunks:
+        chunk.sort()
+    return [chunk for chunk in chunks if chunk]
+
+
+def fault_simulate(
+    circuit: Circuit,
+    cells: Mapping[str, StandardCell],
+    faults: Sequence[Fault],
+    batch: PatternBatch,
+    *,
+    workers: int = 1,
+    stats: Optional[EngineStats] = None,
+) -> List[int]:
+    """Per-fault detect words (bit i set = pair i detects the fault).
+
+    With ``workers > 1`` the fault list is partitioned across a thread
+    pool (chunks balanced by output-cone size); each fault's simulation
+    is independent and results are merged back by fault index, so the
+    output is bit-identical to the serial path.
+    """
+    ctx = _make_context(circuit, cells, batch, stats=stats)
+    if stats is not None:
+        stats.batches += 1
+        stats.faults_simulated += len(faults)
+    if workers <= 1 or len(faults) < max(_MIN_PARALLEL_FAULTS, workers):
+        results = [_simulate_one(ctx, fault) for fault in faults]
+        if stats is not None:
+            stats.events_propagated += ctx.events
+        return results
+
+    chunks = _partition_faults(ctx, faults, workers)
+    results: List[int] = [0] * len(faults)
+    events = ctx.events
+
+    def run_chunk(chunk: List[int]) -> Tuple[List[Tuple[int, int]], int]:
+        view = ctx.fork()
+        out = [(i, _simulate_one(view, faults[i])) for i in chunk]
+        return out, view.events
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        for out, chunk_events in pool.map(run_chunk, chunks):
+            events += chunk_events
+            for i, word in out:
+                results[i] = word
+    if stats is not None:
+        stats.parallel_chunks += len(chunks)
+        stats.events_propagated += events
+    return results
 
 
 def detected_by_patterns(
@@ -294,6 +440,9 @@ def detected_by_patterns(
     cells: Mapping[str, StandardCell],
     faults: Sequence[Fault],
     pairs: Sequence[Tuple[Mapping[str, int], Mapping[str, int]]],
+    *,
+    workers: int = 1,
+    stats: Optional[EngineStats] = None,
 ) -> List[bool]:
     """Convenience wrapper: which faults do these test pairs detect?"""
     if not pairs:
@@ -302,7 +451,10 @@ def detected_by_patterns(
     word = 64
     for start in range(0, len(pairs), word):
         batch = PatternBatch.from_pairs(circuit, pairs[start:start + word])
-        for i, w in enumerate(fault_simulate(circuit, cells, faults, batch)):
+        words = fault_simulate(
+            circuit, cells, faults, batch, workers=workers, stats=stats
+        )
+        for i, w in enumerate(words):
             if w:
                 flags[i] = True
     return flags

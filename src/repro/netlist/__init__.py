@@ -16,10 +16,18 @@ from repro.netlist.circuit import (
     extract_subcircuit,
     replace_subcircuit,
 )
-from repro.netlist.simulator import compile_cell_eval, simulate, simulate_patterns
+from repro.netlist.simulator import (
+    CompiledCircuit,
+    clear_compiled_cache,
+    compile_cell_eval,
+    simulate,
+    simulate_patterns,
+)
 from repro.netlist.io import parse_netlist, write_netlist
 
 __all__ = [
+    "CompiledCircuit",
+    "clear_compiled_cache",
     "CONST0",
     "CONST1",
     "CellDef",

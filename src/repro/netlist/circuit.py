@@ -239,6 +239,16 @@ class Circuit:
         self._topo = order
         return order
 
+    def topology_token(self) -> object:
+        """Identity token that changes whenever the gate graph mutates.
+
+        Simulation plans (:class:`repro.netlist.simulator.CompiledCircuit`)
+        hold the token they were built against and compare it by identity:
+        any :meth:`add_gate` / :meth:`remove_gate` resets the cached topo
+        order, so a stale plan can be detected in O(1).
+        """
+        return self.topo_order()
+
     def levelize(self) -> Dict[str, int]:
         """Map each gate to its logic level (PIs/constants are level 0)."""
         level: Dict[str, int] = {}

@@ -9,14 +9,24 @@ Cell functions are given as truth tables (bit *m* of ``tt`` is the output
 for input minterm *m*, with ``input_pins[0]`` as the least significant bit).
 For speed, each (arity, tt) pair is compiled once into a Python lambda in
 sum-of-products (or product-of-sums, whichever is smaller) form and cached.
+
+:class:`CompiledCircuit` hoists every per-gate cost out of the simulation
+loops: nets are mapped to dense integer indices, each gate's evaluator is
+resolved exactly once, and load/PO structure is precomputed.  Plans are
+cached per circuit (invalidated automatically when the circuit mutates),
+so repeated simulation of the same design — the normal case inside the
+resynthesis loop — pays the compile cost once.
 """
 
 from __future__ import annotations
 
+import weakref
+from collections import OrderedDict
 from functools import lru_cache
-from typing import Callable, Dict, List, Mapping, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.netlist.circuit import CONST0, CONST1, CellDef, Circuit, NetlistError
+from repro.utils.observability import EngineStats
 
 Evaluator = Callable[..., int]
 
@@ -57,6 +67,224 @@ def compile_cell_eval(n_inputs: int, tt: int) -> Evaluator:
     return eval(src)  # noqa: S307 - source is generated from integers only
 
 
+def _bind_gate_eval(fn: Evaluator, ins: Tuple[int, ...]) -> Callable:
+    """Specialize a cell evaluator to one gate's input net indices.
+
+    The returned closure takes ``(values, mask)`` and indexes the value
+    vector directly — the event loop avoids building an argument list
+    and unpacking it per evaluation.  Common arities are unrolled.
+    """
+    n = len(ins)
+    if n == 1:
+        a, = ins
+        return lambda v, mask: fn(v[a], mask)
+    if n == 2:
+        a, b = ins
+        return lambda v, mask: fn(v[a], v[b], mask)
+    if n == 3:
+        a, b, c = ins
+        return lambda v, mask: fn(v[a], v[b], v[c], mask)
+    if n == 4:
+        a, b, c, d = ins
+        return lambda v, mask: fn(v[a], v[b], v[c], v[d], mask)
+    return lambda v, mask: fn(*[v[i] for i in ins], mask)
+
+
+class CompiledCircuit:
+    """A circuit prepared for repeated simulation.
+
+    Nets are assigned dense indices (``CONST0`` = 0, ``CONST1`` = 1, then
+    primary inputs, then gate outputs in topological order), and per-gate
+    evaluators/pin indices are resolved once.  ``good_cache`` is an LRU of
+    good-machine value vectors keyed by packed input frames — fault
+    simulation consults it so re-simulating the same pattern batch (test
+    re-grading, compaction, resynthesis re-analysis) is free.
+
+    Use :meth:`get` rather than the constructor: plans are cached per
+    circuit and invalidated when the circuit's topology changes.
+    """
+
+    GOOD_CACHE_SIZE = 32
+
+    __slots__ = (
+        "circuit", "cells", "pi_order", "net_index", "n_nets",
+        "gate_names", "gate_index", "gate_fn", "gate_in", "gate_out",
+        "gate_eval", "loads_of", "is_po", "po_index", "eval_compiles",
+        "good_cache", "_cone_sizes", "_topo_ref", "__weakref__",
+    )
+
+    def __init__(self, circuit: Circuit, cells: Mapping[str, CellDef]):
+        self.circuit = circuit
+        self.cells = cells
+        topo = circuit.topo_order()
+        self._topo_ref = circuit.topology_token()
+        net_index: Dict[str, int] = {CONST0: 0, CONST1: 1}
+        for pi in circuit.inputs:
+            net_index[pi] = len(net_index)
+        for gname in topo:
+            net_index[circuit.gates[gname].output] = len(net_index)
+        self.net_index = net_index
+        self.n_nets = len(net_index)
+        self.pi_order = list(circuit.inputs)
+
+        gate_fn: List[Evaluator] = []
+        gate_in: List[Tuple[int, ...]] = []
+        gate_out: List[int] = []
+        compiled: Dict[Tuple[int, int], Evaluator] = {}
+        for gname in topo:
+            gate = circuit.gates[gname]
+            cell = cells[gate.cell]
+            key = (len(cell.input_pins), cell.tt)
+            fn = compiled.get(key)
+            if fn is None:
+                fn = compile_cell_eval(*key)
+                compiled[key] = fn
+            gate_fn.append(fn)
+            try:
+                gate_in.append(
+                    tuple(net_index[gate.pins[p]] for p in cell.input_pins)
+                )
+            except KeyError as exc:
+                raise NetlistError(
+                    f"gate {gname}: input net {exc.args[0]} undriven"
+                ) from None
+            gate_out.append(net_index[gate.output])
+        self.gate_names = list(topo)
+        self.gate_index = {g: i for i, g in enumerate(topo)}
+        self.gate_fn = gate_fn
+        self.gate_in = gate_in
+        self.gate_out = gate_out
+        self.gate_eval = [
+            _bind_gate_eval(fn, ins)
+            for fn, ins in zip(gate_fn, gate_in)
+        ]
+        self.eval_compiles = len(compiled)
+
+        loads_of: List[List[int]] = [[] for _ in range(self.n_nets)]
+        for gi, ins in enumerate(gate_in):
+            for idx in set(ins):
+                loads_of[idx].append(gi)
+        self.loads_of = loads_of
+
+        self.is_po = bytearray(self.n_nets)
+        po_index: List[int] = []
+        for po in circuit.outputs:
+            idx = net_index.get(po)
+            if idx is None:
+                raise NetlistError(f"output net {po} undriven")
+            self.is_po[idx] = 1
+            po_index.append(idx)
+        self.po_index = po_index
+        self.good_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self._cone_sizes: Optional[List[int]] = None
+
+    # ------------------------------------------------------------------
+    def valid_for(self, circuit: Circuit, cells: Mapping[str, CellDef]) -> bool:
+        return (
+            self.circuit is circuit
+            and self.cells is cells
+            and self._topo_ref is circuit.topology_token()
+        )
+
+    @classmethod
+    def get(
+        cls,
+        circuit: Circuit,
+        cells: Mapping[str, CellDef],
+        stats: Optional[EngineStats] = None,
+    ) -> "CompiledCircuit":
+        """Cached plan for (*circuit*, *cells*); rebuilt after mutation."""
+        plan = _PLAN_CACHE.get(circuit)
+        if plan is not None and plan.valid_for(circuit, cells):
+            if stats is not None:
+                stats.plan_cache_hits += 1
+            return plan
+        plan = cls(circuit, cells)
+        _PLAN_CACHE[circuit] = plan
+        if stats is not None:
+            stats.plan_builds += 1
+            stats.eval_compiles += plan.eval_compiles
+        return plan
+
+    # ------------------------------------------------------------------
+    def simulate_values(
+        self, pi_values: Mapping[str, int], mask: int
+    ) -> List[int]:
+        """Bit-parallel simulation; returns net values indexed by net index."""
+        values = [0] * self.n_nets
+        values[1] = mask
+        net_index = self.net_index
+        for pi in self.pi_order:
+            try:
+                values[net_index[pi]] = pi_values[pi] & mask
+            except KeyError:
+                raise NetlistError(
+                    f"missing value for primary input {pi}"
+                ) from None
+        gate_eval = self.gate_eval
+        gate_out = self.gate_out
+        for gi in range(len(gate_out)):
+            values[gate_out[gi]] = gate_eval[gi](values, mask)
+        return values
+
+    def good_values(
+        self,
+        batch_key: tuple,
+        frames: Sequence[Mapping[str, int]],
+        mask: int,
+        stats: Optional[EngineStats] = None,
+    ) -> Tuple[List[int], ...]:
+        """LRU-cached good-machine simulation of packed input *frames*."""
+        cached = self.good_cache.get(batch_key)
+        if cached is not None:
+            self.good_cache.move_to_end(batch_key)
+            if stats is not None:
+                stats.good_cache_hits += len(cached)
+            return cached
+        result = tuple(self.simulate_values(f, mask) for f in frames)
+        if stats is not None:
+            stats.good_simulations += len(result)
+        self.good_cache[batch_key] = result
+        while len(self.good_cache) > self.GOOD_CACHE_SIZE:
+            self.good_cache.popitem(last=False)
+        return result
+
+    def cone_sizes(self) -> List[int]:
+        """Per-net fanout-cone gate-count estimates (for load balancing).
+
+        Computed by a reverse-topological sum capped at the gate count;
+        reconvergence makes it an overestimate, which is fine for
+        partitioning work by expected propagation cost.
+        """
+        if self._cone_sizes is None:
+            n_gates = len(self.gate_out)
+            gate_cost = [1] * n_gates
+            for gi in range(n_gates - 1, -1, -1):
+                total = 1
+                for gj in self.loads_of[self.gate_out[gi]]:
+                    total += gate_cost[gj]
+                gate_cost[gi] = min(total, n_gates)
+            cone = [1] * self.n_nets
+            for idx in range(self.n_nets):
+                total = 1
+                for gj in self.loads_of[idx]:
+                    total += gate_cost[gj]
+                cone[idx] = min(total, n_gates) if n_gates else 1
+            self._cone_sizes = cone
+        return self._cone_sizes
+
+
+_PLAN_CACHE: "weakref.WeakKeyDictionary[Circuit, CompiledCircuit]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def clear_compiled_cache() -> None:
+    """Drop all cached plans and compiled evaluators (test hook)."""
+    _PLAN_CACHE.clear()
+    compile_cell_eval.cache_clear()
+
+
 def simulate(
     circuit: Circuit,
     cells: Mapping[str, CellDef],
@@ -68,19 +296,9 @@ def simulate(
     *pi_values* maps each primary input net to a bit vector; *mask* is the
     all-patterns-ones mask, ``(1 << n_patterns) - 1``.
     """
-    values: Dict[str, int] = {CONST0: 0, CONST1: mask}
-    for pi in circuit.inputs:
-        try:
-            values[pi] = pi_values[pi] & mask
-        except KeyError:
-            raise NetlistError(f"missing value for primary input {pi}") from None
-    for gname in circuit.topo_order():
-        gate = circuit.gates[gname]
-        cell = cells[gate.cell]
-        fn = compile_cell_eval(len(cell.input_pins), cell.tt)
-        ins = [values[gate.pins[p]] for p in cell.input_pins]
-        values[gate.output] = fn(*ins, mask)
-    return values
+    plan = CompiledCircuit.get(circuit, cells)
+    values = plan.simulate_values(pi_values, mask)
+    return {net: values[i] for net, i in plan.net_index.items()}
 
 
 def simulate_patterns(

@@ -1,7 +1,8 @@
-"""Shared utilities: union-find, deterministic RNG, table formatting."""
+"""Shared utilities: union-find, deterministic RNG, tables, observability."""
 
 from repro.utils.unionfind import UnionFind
+from repro.utils.observability import EngineStats
 from repro.utils.rng import make_rng
 from repro.utils.tables import format_table
 
-__all__ = ["UnionFind", "make_rng", "format_table"]
+__all__ = ["UnionFind", "EngineStats", "make_rng", "format_table"]

@@ -1,0 +1,105 @@
+"""Lightweight observability counters for the fault-analysis engine.
+
+:class:`EngineStats` is a plain bag of monotonically increasing counters
+plus per-phase wall-clock accumulators.  One instance travels through a
+whole analysis (fault simulation, ATPG, compaction) and is surfaced on
+:class:`repro.atpg.engine.AtpgResult` / :class:`repro.core.flow.DesignState`
+so benchmarks and regression tests can assert on engine behaviour
+(e.g. "the evaluator compile count stays O(#distinct cells)") instead of
+re-deriving it from timing alone.
+
+This module sits in the ``utils`` layer on purpose: every layer above it
+(netlist simulation, fault simulation, ATPG, flow) records into it, so it
+must not import any of them.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class EngineStats:
+    """Counters for one fault-analysis run (all additive / mergeable).
+
+    * ``faults_simulated`` — fault/batch simulations performed (one count
+      per fault per :func:`repro.faults.fsim.fault_simulate` call);
+    * ``events_propagated`` — gate evaluations popped from the
+      event-driven propagation queue across all faults;
+    * ``good_simulations`` / ``good_cache_hits`` — good-machine
+      simulations run vs. served from the per-circuit good-value cache;
+    * ``plan_builds`` / ``plan_cache_hits`` — compiled circuit plans
+      built vs. reused;
+    * ``eval_compiles`` — distinct ``(n_inputs, truth_table)`` cell
+      evaluators compiled while building plans;
+    * ``batches`` — pattern batches fault-simulated;
+    * ``parallel_chunks`` — work chunks dispatched to worker threads;
+    * ``sat_calls`` / ``sat_conflicts`` / ``sat_propagations`` — exact
+      ATPG solver effort;
+    * ``phase_seconds`` — wall-clock per engine phase.
+    """
+
+    faults_simulated: int = 0
+    events_propagated: int = 0
+    good_simulations: int = 0
+    good_cache_hits: int = 0
+    plan_builds: int = 0
+    plan_cache_hits: int = 0
+    eval_compiles: int = 0
+    batches: int = 0
+    parallel_chunks: int = 0
+    sat_calls: int = 0
+    sat_conflicts: int = 0
+    sat_propagations: int = 0
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def add_phase(self, name: str, seconds: float) -> None:
+        self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Accumulate the wall time of a ``with`` block under *name*."""
+        start = time.monotonic()
+        try:
+            yield
+        finally:
+            self.add_phase(name, time.monotonic() - start)
+
+    def merge(self, other: "EngineStats") -> None:
+        """Fold *other*'s counters into this instance."""
+        self.faults_simulated += other.faults_simulated
+        self.events_propagated += other.events_propagated
+        self.good_simulations += other.good_simulations
+        self.good_cache_hits += other.good_cache_hits
+        self.plan_builds += other.plan_builds
+        self.plan_cache_hits += other.plan_cache_hits
+        self.eval_compiles += other.eval_compiles
+        self.batches += other.batches
+        self.parallel_chunks += other.parallel_chunks
+        self.sat_calls += other.sat_calls
+        self.sat_conflicts += other.sat_conflicts
+        self.sat_propagations += other.sat_propagations
+        for name, seconds in other.phase_seconds.items():
+            self.add_phase(name, seconds)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot (used by the perf harness)."""
+        out: Dict[str, object] = {
+            "faults_simulated": self.faults_simulated,
+            "events_propagated": self.events_propagated,
+            "good_simulations": self.good_simulations,
+            "good_cache_hits": self.good_cache_hits,
+            "plan_builds": self.plan_builds,
+            "plan_cache_hits": self.plan_cache_hits,
+            "eval_compiles": self.eval_compiles,
+            "batches": self.batches,
+            "parallel_chunks": self.parallel_chunks,
+            "sat_calls": self.sat_calls,
+            "sat_conflicts": self.sat_conflicts,
+            "sat_propagations": self.sat_propagations,
+            "phase_seconds": dict(self.phase_seconds),
+        }
+        return out

@@ -7,6 +7,14 @@ import random
 import pytest
 
 from repro.bench.builder import NetBuilder
+from repro.faults.model import (
+    FALL,
+    RISE,
+    BridgingFault,
+    StuckAtFault,
+    TransitionFault,
+)
+from repro.faults.sites import enumerate_internal_faults
 from repro.library import osu018_library
 from repro.netlist import Circuit
 
@@ -44,6 +52,52 @@ def tiny_circuit():
     c.set_outputs(["y", "z"])
     c.validate()
     return c
+
+
+def mixed_fault_list(circuit, library=None, seed=0, per_kind=8):
+    """Faults of every model on random sites of *circuit*.
+
+    Used by the differential and determinism suites: stem and branch
+    stuck-ats, slow-to-rise/fall transitions (stem and branch), dominant
+    bridges, and — when *library* is given — a sample of the circuit's
+    cell-aware internal faults.
+    """
+    rng = random.Random(seed)
+    nets = list(circuit.inputs) + [g.output for g in circuit.gates.values()]
+    faults = []
+    for net in rng.sample(nets, min(per_kind, len(nets))):
+        faults.append(
+            StuckAtFault(f"sa0:{net}", "MET-01", net=net, value=0))
+        faults.append(
+            StuckAtFault(f"sa1:{net}", "MET-01", net=net, value=1))
+        faults.append(
+            TransitionFault(f"str:{net}", "VIA-01", net=net, slow_to=RISE))
+        faults.append(
+            TransitionFault(f"stf:{net}", "VIA-01", net=net, slow_to=FALL))
+    gnames = rng.sample(sorted(circuit.gates), min(per_kind, len(circuit.gates)))
+    for gname in gnames:
+        gate = circuit.gates[gname]
+        pin = rng.choice(sorted(gate.pins))
+        net = gate.pins[pin]
+        faults.append(StuckAtFault(
+            f"sab:{gname}.{pin}", "MET-02", net=net,
+            value=rng.randint(0, 1), branch=(gname, pin),
+        ))
+        faults.append(TransitionFault(
+            f"stb:{gname}.{pin}", "VIA-02", net=net,
+            slow_to=rng.choice([RISE, FALL]), branch=(gname, pin),
+        ))
+    for k in range(per_kind):
+        victim, aggressor = rng.sample(nets, 2)
+        faults.append(BridgingFault(
+            f"br{k}:{victim}-{aggressor}", "MET-03",
+            victim=victim, aggressor=aggressor,
+        ))
+    if library is not None:
+        internal = enumerate_internal_faults(circuit, library)
+        faults.extend(
+            rng.sample(internal, min(4 * per_kind, len(internal))))
+    return faults
 
 
 def random_mapped_circuit(cells, n_pi=8, n_gates=60, n_po=8, seed=0):

@@ -1,0 +1,134 @@
+"""Engine observability counters and the compile-count regression.
+
+The original hot path recompiled a cell evaluator for every gate popped
+off the propagation heap; ``test_compile_count_stays_bounded`` pins the
+fix by asserting the compile count is O(#distinct cells) for the first
+batch and zero afterwards, no matter how many faults or events a batch
+propagates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.netlist.simulator as sim
+from repro.atpg.engine import run_atpg
+from repro.core.metrics import engine_row
+from repro.faults.fsim import PatternBatch, fault_simulate
+from repro.faults.sites import enumerate_internal_faults
+from repro.utils.observability import EngineStats
+from tests.conftest import mixed_fault_list, random_mapped_circuit
+
+
+def test_compile_count_stays_bounded(cells, monkeypatch):
+    circuit = random_mapped_circuit(cells, seed=90)
+    faults = mixed_fault_list(circuit, seed=9)
+    distinct = {
+        (len(cells[g.cell].input_pins), cells[g.cell].tt)
+        for g in circuit.gates.values()
+    }
+    sim.clear_compiled_cache()
+    calls = []
+    real = sim.compile_cell_eval
+
+    def counting(n_inputs, tt):
+        calls.append((n_inputs, tt))
+        return real(n_inputs, tt)
+
+    monkeypatch.setattr(sim, "compile_cell_eval", counting)
+    stats = EngineStats()
+    batch = PatternBatch.random(circuit, 32, seed=1)
+    fault_simulate(circuit, cells, faults, batch, stats=stats)
+    # First batch: one compile per distinct (n_inputs, truth table) —
+    # never per gate, per fault, or per propagated event.
+    assert 0 < len(calls) <= len(distinct)
+    assert stats.eval_compiles == len(calls)
+    assert stats.events_propagated > len(distinct)  # plenty of pops happened
+
+    first = len(calls)
+    for seed in (2, 3, 4):
+        batch = PatternBatch.random(circuit, 32, seed=seed)
+        fault_simulate(circuit, cells, faults, batch, stats=stats)
+    assert len(calls) == first  # later batches reuse the cached plan
+    assert stats.plan_builds == 1
+    assert stats.plan_cache_hits == 3
+
+
+def test_good_value_cache(cells):
+    circuit = random_mapped_circuit(cells, seed=91)
+    faults = mixed_fault_list(circuit, seed=9, per_kind=4)
+    batch = PatternBatch.random(circuit, 32, seed=4)
+    stats = EngineStats()
+    fault_simulate(circuit, cells, faults, batch, stats=stats)
+    assert stats.good_simulations == 2  # both frames simulated once
+    assert stats.good_cache_hits == 0
+    fault_simulate(circuit, cells, faults, batch, stats=stats)
+    assert stats.good_simulations == 2  # repeat batch served from cache
+    assert stats.good_cache_hits == 2
+    assert stats.batches == 2
+
+
+def test_good_cache_eviction_keeps_results_correct(cells):
+    circuit = random_mapped_circuit(cells, n_gates=30, seed=92)
+    faults = mixed_fault_list(circuit, seed=2, per_kind=3)
+    batches = [
+        PatternBatch.random(circuit, 16, seed=s)
+        for s in range(sim.CompiledCircuit.GOOD_CACHE_SIZE + 4)
+    ]
+    before = [fault_simulate(circuit, cells, faults, b) for b in batches]
+    # Cycle through again: early batches were evicted and re-simulate.
+    after = [fault_simulate(circuit, cells, faults, b) for b in batches]
+    assert after == before
+
+
+def test_run_atpg_populates_stats(adder4, cells, library):
+    faults = enumerate_internal_faults(adder4, library)
+    # Skip the random phase so the SAT phase has real work left.
+    result = run_atpg(adder4, cells, faults, seed=1, workers=2,
+                      random_rounds=0)
+    stats = result.stats
+    assert stats.faults_simulated > 0
+    assert stats.events_propagated > 0
+    assert stats.batches > 0
+    assert stats.good_simulations > 0
+    assert stats.sat_calls == result.sat_calls > 0
+    assert stats.sat_propagations >= stats.sat_conflicts >= 0
+    assert stats.sat_propagations > 0
+    for phase in ("atpg.random", "atpg.sat", "atpg.compaction"):
+        assert stats.phase_seconds.get(phase, -1.0) >= 0.0
+    # Re-running with inherited tests exercises the initial-tests phase.
+    again = run_atpg(adder4, cells, faults, seed=1, workers=2,
+                     initial_tests=result.tests)
+    assert again.stats.phase_seconds.get("atpg.initial_tests", -1.0) >= 0.0
+    assert again.undetectable == result.undetectable
+
+
+def test_stats_merge_and_as_dict():
+    a = EngineStats(faults_simulated=3, sat_calls=1)
+    a.add_phase("x", 0.5)
+    b = EngineStats(faults_simulated=4, events_propagated=7)
+    b.add_phase("x", 0.25)
+    b.add_phase("y", 1.0)
+    a.merge(b)
+    assert a.faults_simulated == 7
+    assert a.events_propagated == 7
+    assert a.phase_seconds == {"x": 0.75, "y": 1.0}
+    d = a.as_dict()
+    assert d["faults_simulated"] == 7
+    assert d["phase_seconds"]["y"] == 1.0
+
+
+def test_engine_row_flattens_counters(library, cells, adder4):
+    from repro.core.flow import analyze_design
+
+    state = analyze_design(adder4, library, workers=2)
+    row = engine_row("adder4", state)
+    assert row["Circuit"] == "adder4"
+    assert row["Gates"] == len(adder4)
+    assert row["F"] == state.n_faults
+    assert row["FaultsSim"] > 0
+    assert row["SatProps"] >= 0
+    assert row["t[atpg.random]"] >= 0.0
+    assert row["t[pdesign]"] >= 0.0
+    assert set(state.timings) == {
+        "pdesign", "fault_extraction", "atpg", "clustering"}
