@@ -66,7 +66,9 @@ def run_atpg(
     compaction: bool = True,
     initial_tests: Optional[Sequence[TestPair]] = None,
     assume_undetectable: Optional[AbstractSet] = None,
+    assume_detected: Optional[AbstractSet] = None,
     workers: int = 1,
+    stats: Optional[EngineStats] = None,
 ) -> AtpgResult:
     """Classify *faults* on *circuit* and build a test set.
 
@@ -77,34 +79,48 @@ def run_atpg(
     previous resynthesis iteration's test set) are fault-simulated first,
     which makes re-running ATPG after a local circuit change cheap.
 
-    *assume_undetectable* is a set of behaviour keys (see
-    :func:`repro.faults.collapse.behaviour_key`) known undetectable from
-    an earlier, functionally-equivalent version of the circuit in which
-    the key's referenced gates/nets were outside the changed region;
-    detection is a functional property, so those verdicts carry over
-    without re-proof.
+    *assume_undetectable* and *assume_detected* are sets of behaviour
+    keys (see :func:`repro.faults.collapse.behaviour_key`) with a known
+    verdict from an earlier, functionally-equivalent version of the
+    circuit.  Detection is a functional property: replacing a region R
+    by an equivalent R' leaves every net outside R with identical values
+    under *any* input — including the values forced by a fault whose
+    key references only surviving gate/net names — so both detected and
+    undetectable verdicts carry over without re-proof.  Replaced objects
+    get fresh names and never match a stale key, which makes the
+    inheritance safe to apply blindly; only behaviour classes with novel
+    keys (the changed region's cone) are re-proved.
 
     *workers* > 1 fault-partitions every fault-simulation batch across a
     thread pool; the classification and test set are bit-identical to a
     serial run with the same seed.  Engine effort counters and per-phase
-    wall times are recorded on ``result.stats``.
+    wall times are recorded on ``result.stats`` (pass *stats* to
+    accumulate into a caller-owned instance instead).
     """
     start = time.monotonic()
     result = AtpgResult(n_faults=len(faults))
+    if stats is not None:
+        result.stats = stats
     stats = result.stats
     classes = collapse_faults(faults)
     reps: List[Fault] = list(classes)
     rng = make_rng(seed)
 
     inherited_undet: Set[str] = set()
-    if assume_undetectable:
+    inherited_det: Set[str] = set()
+    if assume_undetectable or assume_detected:
         still: List[Fault] = []
         for rep in reps:
-            if behaviour_key(rep) in assume_undetectable:
+            key = behaviour_key(rep)
+            if assume_undetectable and key in assume_undetectable:
                 inherited_undet.add(rep.fault_id)
+            elif assume_detected and key in assume_detected:
+                inherited_det.add(rep.fault_id)
             else:
                 still.append(rep)
         reps = still
+    stats.verdicts_inherited += len(inherited_undet) + len(inherited_det)
+    stats.verdicts_proved += len(reps)
 
     remaining: List[Fault] = list(reps)
     detected_reps: Set[str] = set()

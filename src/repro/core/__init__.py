@@ -15,8 +15,18 @@ the two-phase, constraint-aware resynthesis procedure.
 * :mod:`repro.core.metrics` — the rows of Tables I and II.
 """
 
-from repro.core.clustering import ClusterReport, cluster_undetectable, are_adjacent
-from repro.core.flow import DesignState, analyze_design, count_undetectable_internal
+from repro.core.clustering import (
+    ClusterReport,
+    cluster_undetectable,
+    cluster_undetectable_incremental,
+    are_adjacent,
+)
+from repro.core.flow import (
+    DesignState,
+    analyze_design,
+    classify_internal,
+    count_undetectable_internal,
+)
 from repro.core.backtracking import backtrack_resynthesis
 from repro.core.resynthesis import (
     IterationRecord,
@@ -29,9 +39,11 @@ from repro.core.metrics import table1_row, table2_row
 __all__ = [
     "ClusterReport",
     "cluster_undetectable",
+    "cluster_undetectable_incremental",
     "are_adjacent",
     "DesignState",
     "analyze_design",
+    "classify_internal",
     "count_undetectable_internal",
     "backtrack_resynthesis",
     "IterationRecord",

@@ -20,7 +20,11 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.atpg.compaction import TestPair
 from repro.atpg.engine import AtpgResult, run_atpg
-from repro.core.clustering import ClusterReport, cluster_undetectable
+from repro.core.clustering import (
+    ClusterReport,
+    cluster_undetectable,
+    cluster_undetectable_incremental,
+)
 from repro.dfm.guidelines import Guideline
 from repro.dfm.translate import build_fault_set
 from repro.faults.model import Fault
@@ -110,6 +114,24 @@ class DesignState:
 
         return {behaviour_key(f) for f in self.undetectable_faults}
 
+    def detected_behaviour_keys(self) -> set:
+        """Behaviour keys of the detected faults.
+
+        Same soundness argument as
+        :meth:`undetectable_behaviour_keys`: the replacement region and
+        its substitute are pointwise functionally equivalent, so a fault
+        whose key references only surviving names forces identical
+        values on every surviving net under any input — its detected
+        verdict (and undetectable alike) carries over.
+        """
+        from repro.faults.collapse import behaviour_key
+
+        return {
+            behaviour_key(f)
+            for f in self.fault_set
+            if f.fault_id in self.atpg.detected
+        }
+
     @property
     def delay(self) -> float:
         return self.physical.delay
@@ -129,22 +151,41 @@ def analyze_design(
     initial_tests: Optional[Sequence[TestPair]] = None,
     atpg_seed: int = 0,
     assume_undetectable: Optional[set] = None,
+    assume_detected: Optional[set] = None,
     physical: Optional[PhysicalDesign] = None,
     workers: int = 1,
+    prev: Optional[DesignState] = None,
+    internal_atpg: Optional[AtpgResult] = None,
+    stats: Optional[EngineStats] = None,
 ) -> DesignState:
     """Run physical design + DFM fault extraction + ATPG + clustering.
 
-    *initial_tests* and *assume_undetectable* (behaviour keys from a
-    previous functionally-equivalent design state) make re-analysis
-    after a local resynthesis step cheap; see
+    *initial_tests*, *assume_undetectable* and *assume_detected*
+    (behaviour keys from a previous functionally-equivalent design
+    state) make re-analysis after a local resynthesis step cheap; see
     :meth:`DesignState.undetectable_behaviour_keys`.  A precomputed
     *physical* design (e.g. from an early constraint check) is reused
     instead of placing and routing again.
 
+    *prev* enables the full cone-scoped incremental path after a local
+    replacement (``replace_subcircuit`` of a functionally-equivalent
+    region): both verdict sets and the test set are inherited from
+    *prev* (unless given explicitly), internal faults of untouched gates
+    are carried over instead of re-enumerated, and the undetectable
+    clusters are updated via union-find deltas instead of re-clustered.
+    Only faults in the replaced region's cone are re-proved.  The
+    resulting state is identical to a from-scratch analysis.
+
+    *internal_atpg* is the candidate's own pre-PDesign internal
+    classification (see :func:`classify_internal`); its verdicts seed
+    the assume sets and its tests the initial test set, so the internal
+    ATPG work is not repeated.
+
     *workers* > 1 parallelizes the fault-simulation batches inside ATPG
     (results stay bit-identical to a serial run).  Per-stage wall times
     land in ``DesignState.timings``; engine counters in
-    ``DesignState.stats``.
+    ``DesignState.stats`` (pass *stats* to accumulate into a
+    caller-owned instance).
 
     Raises :class:`~repro.physical.placement.PlacementError` if the
     circuit does not fit *floorplan* (a die-area constraint violation).
@@ -158,22 +199,59 @@ def analyze_design(
             utilization=utilization,
         )
     timings["pdesign"] = time.monotonic() - t0
+
+    assume_undet = set(assume_undetectable) if assume_undetectable else None
+    assume_det = set(assume_detected) if assume_detected else None
+    if prev is not None:
+        if assume_undet is None:
+            assume_undet = prev.undetectable_behaviour_keys()
+        if assume_det is None:
+            assume_det = prev.detected_behaviour_keys()
+        if initial_tests is None:
+            initial_tests = prev.tests
+
     t0 = time.monotonic()
-    fault_set = build_fault_set(circuit, library, physical.layout, guidelines)
+    fault_set = build_fault_set(
+        circuit, library, physical.layout, guidelines,
+        prev_fault_set=prev.fault_set if prev is not None else None,
+        prev_circuit=prev.circuit if prev is not None else None,
+        stats=stats,
+    )
     timings["fault_extraction"] = time.monotonic() - t0
+
+    if internal_atpg is not None:
+        from repro.faults.collapse import behaviour_key
+
+        assume_undet = set() if assume_undet is None else assume_undet
+        assume_det = set() if assume_det is None else assume_det
+        for f in fault_set.internal:
+            if f.fault_id in internal_atpg.undetectable:
+                assume_undet.add(behaviour_key(f))
+            elif f.fault_id in internal_atpg.detected:
+                assume_det.add(behaviour_key(f))
+        initial_tests = list(internal_atpg.tests) + list(initial_tests or [])
+
     t0 = time.monotonic()
     atpg = run_atpg(
         circuit, cells, fault_set.faults,
         seed=atpg_seed, initial_tests=initial_tests,
-        assume_undetectable=assume_undetectable,
+        assume_undetectable=assume_undet,
+        assume_detected=assume_det,
         workers=workers,
+        stats=stats,
     )
     timings["atpg"] = time.monotonic() - t0
     t0 = time.monotonic()
     undetectable = [
         f for f in fault_set if f.fault_id in atpg.undetectable
     ]
-    clusters = cluster_undetectable(circuit, undetectable)
+    if prev is not None:
+        clusters = cluster_undetectable_incremental(
+            circuit, undetectable, prev.circuit, prev.clusters,
+            stats=atpg.stats,
+        )
+    else:
+        clusters = cluster_undetectable(circuit, undetectable)
     timings["clustering"] = time.monotonic() - t0
     return DesignState(
         circuit=circuit,
@@ -185,25 +263,51 @@ def analyze_design(
     )
 
 
+def classify_internal(
+    circuit: Circuit,
+    library: Library,
+    initial_tests: Optional[Sequence[TestPair]] = None,
+    atpg_seed: int = 0,
+    assume_undetectable: Optional[set] = None,
+    assume_detected: Optional[set] = None,
+    workers: int = 1,
+    stats: Optional[EngineStats] = None,
+) -> AtpgResult:
+    """Classify the internal faults of the bare netlist (no compaction).
+
+    This is the fast pre-PDesign check of Section III-B: internal faults
+    only depend on the netlist, not on placement/routing.  The returned
+    :class:`AtpgResult` can be fed back into :func:`analyze_design` as
+    *internal_atpg* so the full analysis of an accepted candidate does
+    not re-prove the internal verdicts.
+    """
+    cells = {c.name: c for c in library}
+    internal = enumerate_internal_faults(circuit, library)
+    return run_atpg(
+        circuit, cells, internal,
+        seed=atpg_seed, initial_tests=initial_tests, compaction=False,
+        assume_undetectable=assume_undetectable,
+        assume_detected=assume_detected,
+        workers=workers,
+        stats=stats,
+    )
+
+
 def count_undetectable_internal(
     circuit: Circuit,
     library: Library,
     initial_tests: Optional[Sequence[TestPair]] = None,
     atpg_seed: int = 0,
     assume_undetectable: Optional[set] = None,
+    assume_detected: Optional[set] = None,
     workers: int = 1,
 ) -> int:
-    """Number of undetectable internal faults of the bare netlist.
-
-    This is the fast pre-PDesign check: internal faults only depend on
-    the netlist, not on placement/routing.
-    """
-    cells = {c.name: c for c in library}
-    internal = enumerate_internal_faults(circuit, library)
-    atpg = run_atpg(
-        circuit, cells, internal,
-        seed=atpg_seed, initial_tests=initial_tests, compaction=False,
+    """Number of undetectable internal faults of the bare netlist."""
+    atpg = classify_internal(
+        circuit, library,
+        initial_tests=initial_tests, atpg_seed=atpg_seed,
         assume_undetectable=assume_undetectable,
+        assume_detected=assume_detected,
         workers=workers,
     )
     return len(atpg.undetectable)

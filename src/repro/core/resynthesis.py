@@ -16,28 +16,60 @@ design constraints (fixed die; delay/power within ``1 + q``).
 The driver applies the procedure with q = 0 first, then re-applies it
 with q increased one percent at a time up to ``q_max`` = 5, each time on
 top of the previous solution, exactly as in Section I of the paper.
+
+Performance model
+-----------------
+The loop's dominant cost is evaluating candidate implementations:
+synthesize + place-and-route, then fault re-analysis.  Three levers cut
+it without changing any result:
+
+* **Staged, cached candidate evaluation** — a candidate is identified
+  by ``(current state, replacement gate set, allowed cells)``; none of
+  its evaluation stages depend on the slack step q or on the phase, so
+  one bounded LRU cache (:class:`_Evaluation` objects) carries finished
+  work across the whole q sweep.  The q = 0 and q = 1 passes, and the
+  phase-1/phase-2 passes over an unchanged state, repeat *identical*
+  candidate evaluations — the cache collapses them to lookups.
+* **Speculative evaluation** — with ``speculation > 1`` the q- and
+  phase-independent stage 1 (synthesize + replace + PDesign) of the
+  next few candidates in the cell ordering runs ahead on a thread pool.
+  Acceptance still scans candidates strictly in the original order on
+  the consuming thread, so the accepted-iteration trace is bit-identical
+  to the serial loop; overshoot stays in the cache and often pays off in
+  a later pass or q step.
+* **Cone-scoped incremental re-analysis** — an accepted-path candidate
+  is re-analyzed with ``analyze_design(prev=state, internal_atpg=...)``:
+  verdicts and layout-independent fault objects of gates outside the
+  replaced region are inherited, the candidate's own pre-PDesign
+  internal classification is not repeated, and clustering is updated
+  via union-find deltas (see :mod:`repro.core.flow`).
 """
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from repro.atpg.engine import AtpgResult
 from repro.core.backtracking import backtrack_resynthesis
 from repro.core.flow import (
     DesignState,
     analyze_design,
-    count_undetectable_internal,
+    classify_internal,
 )
 from repro.dfm.guidelines import Guideline
 from repro.faults.model import CellAwareFault
 from repro.library.osu018 import Library
 from repro.netlist.circuit import Circuit, extract_subcircuit, replace_subcircuit
-from repro.physical.pdesign import pdesign
+from repro.physical.pdesign import PhysicalDesign, pdesign
 from repro.physical.placement import PlacementError
 from repro.synthesis.synthesize import is_complete_subset, synthesize
 from repro.synthesis.techmap import TechmapError
+from repro.utils.observability import ResynthesisStats
 
 
 @dataclass
@@ -55,6 +87,12 @@ class ResynthesisConfig:
     max_iterations_per_phase: int = 25
     trend_window: int = 3  # stop a sweep when U rises this many times
     guidelines: Optional[Sequence[Guideline]] = None
+    # Performance knobs — none of these change any produced result
+    # (accepted trace, verdicts, clusters); they only move work around.
+    workers: int = 1  # fault-simulation threads inside the engine
+    speculation: Optional[int] = None  # stage-1 evals in flight (None -> workers)
+    incremental: bool = True  # cone-scoped incremental re-analysis
+    candidate_cache_size: int = 256  # retained candidate evaluations
 
 
 @dataclass
@@ -81,6 +119,7 @@ class ResynthesisResult:
     history: List[IterationRecord] = field(default_factory=list)
     runtime: float = 0.0
     baseline_runtime: float = 0.0
+    stats: ResynthesisStats = field(default_factory=ResynthesisStats)
 
     @property
     def relative_runtime(self) -> float:
@@ -90,17 +129,207 @@ class ResynthesisResult:
         return self.runtime / self.baseline_runtime
 
 
+class _Evaluation:
+    """Staged, cached evaluation of one candidate implementation.
+
+    Stage 1 (synthesize + replace + PDesign) is thread-safe and may run
+    ahead on the speculation pool; stages 2 (pre-PDesign internal
+    classification) and 3 (full re-analysis) run lazily on the consuming
+    thread, in consumption order.  All stages are computed at most once.
+
+    Constraint checking happens before fault analysis: in this substrate
+    PDesign() is cheap relative to exact ATPG — the inverse of the
+    paper's tool costs — so the gating order is swapped accordingly (the
+    paper gates PDesign() on the undetectable-internal check because
+    physical design is *their* expensive step).
+    """
+
+    __slots__ = (
+        "driver", "state", "replacement", "allowed",
+        "kind", "candidate", "physical", "internal_atpg", "cand_state",
+        "_lock",
+    )
+
+    def __init__(
+        self,
+        driver: "_Resynthesizer",
+        state: DesignState,
+        replacement: FrozenSet[str],
+        allowed: Tuple[str, ...],
+    ):
+        self.driver = driver
+        self.state = state
+        self.replacement = replacement
+        self.allowed = allowed
+        self.kind: Optional[str] = None  # "synthfail" | "nofit" | "placed"
+        self.candidate: Optional[Circuit] = None
+        self.physical: Optional[PhysicalDesign] = None
+        self.internal_atpg: Optional[AtpgResult] = None
+        self.cand_state: Optional[DesignState] = None
+        self._lock = threading.Lock()
+
+    def ensure_placed(self) -> str:
+        """Stage 1: synthesize the replacement and place-and-route it."""
+        with self._lock:
+            if self.kind is not None:
+                return self.kind
+            driver = self.driver
+            sub = extract_subcircuit(
+                self.state.circuit, self.replacement, name="csub"
+            )
+            try:
+                new_sub = synthesize(
+                    sub, driver.library, allowed_cells=list(self.allowed),
+                    objective=driver.cfg.objective,
+                )
+                candidate = replace_subcircuit(
+                    self.state.circuit, self.replacement, new_sub
+                )
+            except TechmapError:
+                self.kind = "synthfail"
+                return self.kind
+            try:
+                physical = pdesign(
+                    candidate, driver.cells,
+                    floorplan=driver.orig.physical.floorplan,
+                    seed=driver.cfg.seed,
+                )
+            except PlacementError:
+                self.kind = "nofit"  # does not fit the fixed die
+                return self.kind
+            self.candidate = candidate
+            self.physical = physical
+            self.kind = "placed"
+            driver.count("candidates_evaluated")
+            return self.kind
+
+    def u_in_new(self) -> int:
+        """Stage 2: undetectable internal faults of the bare candidate."""
+        if self.internal_atpg is None:
+            driver, state = self.driver, self.state
+            undet, det = driver.behaviour_keys(state)
+            self.internal_atpg = classify_internal(
+                self.candidate, driver.library,
+                initial_tests=state.tests, atpg_seed=driver.cfg.seed,
+                assume_undetectable=undet,
+                assume_detected=det if driver.cfg.incremental else None,
+                workers=driver.cfg.workers,
+                stats=driver.stats.engine,
+            )
+        return len(self.internal_atpg.undetectable)
+
+    def result_state(self) -> DesignState:
+        """Stage 3: full re-analysis of the placed candidate."""
+        if self.cand_state is None:
+            driver, state = self.driver, self.state
+            if driver.cfg.incremental:
+                self.cand_state = analyze_design(
+                    self.candidate, driver.library,
+                    seed=driver.cfg.seed, guidelines=driver.cfg.guidelines,
+                    atpg_seed=driver.cfg.seed,
+                    physical=self.physical,
+                    prev=state,
+                    internal_atpg=self.internal_atpg,
+                    workers=driver.cfg.workers,
+                    stats=driver.stats.engine,
+                )
+            else:
+                undet, _ = driver.behaviour_keys(state)
+                self.cand_state = analyze_design(
+                    self.candidate, driver.library,
+                    seed=driver.cfg.seed, guidelines=driver.cfg.guidelines,
+                    initial_tests=state.tests, atpg_seed=driver.cfg.seed,
+                    assume_undetectable=undet,
+                    physical=self.physical,
+                    workers=driver.cfg.workers,
+                    stats=driver.stats.engine,
+                )
+        return self.cand_state
+
+
 class _Resynthesizer:
     """Internal driver holding the shared context of one procedure run."""
 
     def __init__(
-        self, library: Library, orig: DesignState, cfg: ResynthesisConfig
+        self,
+        library: Library,
+        orig: DesignState,
+        cfg: ResynthesisConfig,
+        stats: Optional[ResynthesisStats] = None,
     ):
         self.library = library
+        self.cells = {c.name: c for c in library}
         self.orig = orig
         self.cfg = cfg
+        self.stats = stats if stats is not None else ResynthesisStats()
         self.history: List[IterationRecord] = []
         self._order = library.order_by_internal_faults()
+        self._eval_cache: "OrderedDict[tuple, _Evaluation]" = OrderedDict()
+        self._keys_cache: "OrderedDict[int, tuple]" = OrderedDict()
+        self._stats_lock = threading.Lock()
+        spec = cfg.speculation if cfg.speculation is not None else cfg.workers
+        self.speculation = max(1, spec)
+        self._executor: Optional[ThreadPoolExecutor] = (
+            ThreadPoolExecutor(max_workers=self.speculation)
+            if self.speculation > 1 else None
+        )
+
+    def close(self) -> None:
+        """Drain the speculation pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Thread-safe increment of a ResynthesisStats counter."""
+        with self._stats_lock:
+            setattr(self.stats, name, getattr(self.stats, name) + n)
+
+    def behaviour_keys(self, state: DesignState) -> Tuple[set, set]:
+        """(undetectable, detected) behaviour keys of *state*, cached."""
+        key = id(state)
+        hit = self._keys_cache.get(key)
+        if hit is not None and hit[0] is state:
+            return hit[1], hit[2]
+        undet = state.undetectable_behaviour_keys()
+        det = state.detected_behaviour_keys()
+        self._keys_cache[key] = (state, undet, det)
+        while len(self._keys_cache) > 8:
+            self._keys_cache.popitem(last=False)
+        return undet, det
+
+    def _evaluation(
+        self,
+        state: DesignState,
+        replacement: Set[str],
+        allowed: Sequence[str],
+        record: bool = True,
+    ) -> _Evaluation:
+        """The cached evaluation for (state, replacement, allowed).
+
+        The key uses ``id(state)``; every live cache entry holds a
+        reference to its state, so an id cannot be recycled while
+        entries for it remain.  Only the consuming thread touches the
+        cache.  *record* is off for speculative warm-ups so a candidate
+        counts one cache hit/miss per consumption, not per touch.
+        """
+        repl = frozenset(replacement)
+        allow = tuple(allowed)
+        key = (id(state), repl, allow)
+        ev = self._eval_cache.get(key)
+        if ev is not None and ev.state is state:
+            if record:
+                self.stats.candidate_cache_hits += 1
+            self._eval_cache.move_to_end(key)
+            return ev
+        if record:
+            self.stats.candidate_cache_misses += 1
+        ev = _Evaluation(self, state, repl, allow)
+        self._eval_cache[key] = ev
+        limit = max(1, self.cfg.candidate_cache_size)
+        while len(self._eval_cache) > limit:
+            self._eval_cache.popitem(last=False)
+        return ev
 
     # ------------------------------------------------------------------
     def gates_with_undetectable_internal(
@@ -126,59 +355,32 @@ class _Resynthesizer:
         """One Synthesize()/PDesign() attempt on *replacement* gates.
 
         Status: "accepted" | "constraints" | "rejected" | "synthfail".
+        The staged evaluation behind it is cached, so re-attempting the
+        same candidate at a higher q (or in the other phase) only
+        re-runs the cheap constraint comparison.
         """
         if not replacement:
             return "synthfail", None
-        sub = extract_subcircuit(state.circuit, replacement, name="csub")
-        try:
-            new_sub = synthesize(
-                sub, self.library, allowed_cells=allowed,
-                objective=self.cfg.objective,
-            )
-            candidate = replace_subcircuit(
-                state.circuit, replacement, new_sub
-            )
-        except TechmapError:
+        ev = self._evaluation(state, replacement, allowed)
+        kind = ev.ensure_placed()
+        if kind == "synthfail":
             return "synthfail", None
-        # Constraint check first: in this substrate PDesign() is cheap
-        # and exact ATPG is the bottleneck — the inverse of the paper's
-        # tool costs — so the gating order is swapped accordingly (the
-        # paper gates PDesign() on the undetectable-internal check
-        # because physical design is *their* expensive step).
-        cells = {c.name: c for c in self.library}
-        try:
-            physical = pdesign(
-                candidate, cells,
-                floorplan=self.orig.physical.floorplan,
-                seed=self.cfg.seed,
-            )
-        except PlacementError:
-            return "constraints", None  # does not fit the fixed die
-        if not physical.meets_constraints(self.orig.physical, q):
+        if kind == "nofit":
+            return "constraints", None
+        if not ev.physical.meets_constraints(self.orig.physical, q):
             return "constraints", None
         # Status inheritance: faults outside the replaced region keep
         # their verdicts (detection is functional; the replacement is
         # functionally equivalent and replaced objects get fresh names).
-        known_undet = state.undetectable_behaviour_keys()
-        u_in_new = count_undetectable_internal(
-            candidate, self.library,
-            initial_tests=state.tests, atpg_seed=self.cfg.seed,
-            assume_undetectable=known_undet,
-        )
-        if u_in_new >= state.u_internal:
+        if ev.u_in_new() >= state.u_internal:
             return "rejected", None
-        cand_state = analyze_design(
-            candidate, self.library,
-            seed=self.cfg.seed,
-            guidelines=self.cfg.guidelines,
-            initial_tests=state.tests,
-            atpg_seed=self.cfg.seed,
-            assume_undetectable=known_undet,
-            physical=physical,
-        )
+        cand_state = ev.result_state()
         if accept(cand_state, state):
             return "accepted", cand_state
         return "rejected", None
+
+    def _on_backtrack_attempt(self, replacement: Set[str], status: str) -> None:
+        self.stats.backtrack_attempts += 1
 
     # ------------------------------------------------------------------
     def resynthesize_once(
@@ -198,9 +400,11 @@ class _Resynthesizer:
         used_cells = {
             state.circuit.gates[g].cell for g in replacement_base
         }
-        u_trend: List[int] = []
+
+        # Eligible steps of the cell ordering (rules (1)-(3) of Section
+        # III-B), precomputed so stage-1 evaluations can run ahead.
+        specs: List[Tuple[object, Tuple[str, ...], int]] = []
         for i, cell_i in enumerate(self._order[:-1]):
-            # Eligibility rules (1)-(3) of Section III-B.
             if cell_i.name not in used_cells:
                 continue
             if not any(
@@ -211,52 +415,88 @@ class _Resynthesizer:
             rest = self._order[i + 1:]
             if not is_complete_subset(rest):
                 break  # even smaller suffixes cannot synthesize C_sub
-            allowed = [c.name for c in rest]
+            specs.append((cell_i, tuple(c.name for c in rest), i))
 
-            def accept_and_track(cand: DesignState, cur: DesignState) -> bool:
-                u_trend.append(cand.u_total)
-                return accept(cand, cur)
+        ahead: Set[int] = set()  # speculated, not yet consumed
+        launched: Set[int] = set()
 
-            status, cand = self.attempt(
-                state, replacement_base, allowed, q, accept_and_track
-            )
-            self.history.append(IterationRecord(
-                phase=phase, q=q, csub_size=len(replacement_base),
-                excluded_upto=cell_i.name, status=status,
-                u_total=cand.u_total if cand else None,
-                smax=cand.smax_size if cand else None,
-            ))
-            if status == "accepted":
-                return cand
-            if status == "constraints":
-                g_i = [
-                    g for g in sorted(replacement_base)
-                    if self._cell_index(state.circuit.gates[g].cell) <= i
-                ]
-                # Replace the most fault-laden gates preferentially: the
-                # tail of g_i (moved to G_back first) holds the gates
-                # with the fewest undetectable internal faults.
-                g_i.sort(key=lambda g: (-u_int_by_gate.get(g, 0), g))
-                back = backtrack_resynthesis(
-                    replacement_base, g_i,
-                    lambda repl: self.attempt(
-                        state, repl, allowed, q, accept_and_track
-                    ),
+        def warm(from_k: int) -> None:
+            # Speculation: launch stage 1 for the next few candidates.
+            # Acceptance below still consumes strictly in order.
+            if self._executor is None:
+                return
+            for j in range(from_k, min(from_k + self.speculation, len(specs))):
+                if j in launched:
+                    continue
+                launched.add(j)
+                ev = self._evaluation(
+                    state, replacement_base, specs[j][1], record=False
                 )
-                if back is not None:
-                    self.history.append(IterationRecord(
-                        phase=phase, q=q, csub_size=len(replacement_base),
-                        excluded_upto=cell_i.name, status="backtrack-accepted",
-                        u_total=back.u_total, smax=back.smax_size,
-                    ))
-                    return back
-            # Early phase termination: the U trend turned upward.
-            w = self.cfg.trend_window
-            if len(u_trend) > w and all(
-                u_trend[-j] > u_trend[-j - 1] for j in range(1, w + 1)
-            ):
-                break
-        return None
+                if ev.kind is None:
+                    if j > from_k:
+                        self.count("candidates_speculated")
+                        ahead.add(j)
+                    self._executor.submit(ev.ensure_placed)
+
+        u_trend: List[int] = []
+        try:
+            for k, (cell_i, allowed_names, i) in enumerate(specs):
+                warm(k)
+                ahead.discard(k)
+                allowed = list(allowed_names)
+
+                def accept_and_track(
+                    cand: DesignState, cur: DesignState
+                ) -> bool:
+                    u_trend.append(cand.u_total)
+                    return accept(cand, cur)
+
+                status, cand = self.attempt(
+                    state, replacement_base, allowed, q, accept_and_track
+                )
+                self.history.append(IterationRecord(
+                    phase=phase, q=q, csub_size=len(replacement_base),
+                    excluded_upto=cell_i.name, status=status,
+                    u_total=cand.u_total if cand else None,
+                    smax=cand.smax_size if cand else None,
+                ))
+                if status == "accepted":
+                    return cand
+                if status == "constraints":
+                    g_i = [
+                        g for g in sorted(replacement_base)
+                        if self._cell_index(state.circuit.gates[g].cell) <= i
+                    ]
+                    # Replace the most fault-laden gates preferentially:
+                    # the tail of g_i (moved to G_back first) holds the
+                    # gates with the fewest undetectable internal faults.
+                    g_i.sort(key=lambda g: (-u_int_by_gate.get(g, 0), g))
+                    back = backtrack_resynthesis(
+                        replacement_base, g_i,
+                        lambda repl: self.attempt(
+                            state, repl, allowed, q, accept_and_track
+                        ),
+                        on_attempt=self._on_backtrack_attempt,
+                    )
+                    if back is not None:
+                        self.history.append(IterationRecord(
+                            phase=phase, q=q,
+                            csub_size=len(replacement_base),
+                            excluded_upto=cell_i.name,
+                            status="backtrack-accepted",
+                            u_total=back.u_total, smax=back.smax_size,
+                        ))
+                        return back
+                # Early phase termination: the U trend turned upward.
+                w = self.cfg.trend_window
+                if len(u_trend) > w and all(
+                    u_trend[-j] > u_trend[-j - 1] for j in range(1, w + 1)
+                ):
+                    break
+            return None
+        finally:
+            if ahead:
+                self.count("candidates_wasted", len(ahead))
 
     def _cell_index(self, cell_name: str) -> int:
         for i, cell in enumerate(self._order):
@@ -316,19 +556,24 @@ def resynthesize_for_coverage(
 ) -> ResynthesisResult:
     """Apply the full procedure (both phases, q swept 0..q_max)."""
     cfg = config or ResynthesisConfig()
+    stats = ResynthesisStats()
     t0 = time.monotonic()
     orig = analyze_design(
         circuit, library, seed=cfg.seed, utilization=cfg.utilization,
         guidelines=cfg.guidelines, atpg_seed=cfg.seed,
+        workers=cfg.workers, stats=stats.engine,
     )
     baseline = time.monotonic() - t0
-    driver = _Resynthesizer(library, orig, cfg)
-    state = orig
-    per_q: Dict[int, DesignState] = {}
-    for q in range(cfg.q_max + 1):
-        state = driver.run_phase1(state, q)
-        state = driver.run_phase2(state, q)
-        per_q[q] = state
+    driver = _Resynthesizer(library, orig, cfg, stats=stats)
+    try:
+        state = orig
+        per_q: Dict[int, DesignState] = {}
+        for q in range(cfg.q_max + 1):
+            state = driver.run_phase1(state, q)
+            state = driver.run_phase2(state, q)
+            per_q[q] = state
+    finally:
+        driver.close()
     final = per_q[cfg.q_max]
     q_used = cfg.q_max
     for q in range(cfg.q_max + 1):
@@ -344,4 +589,5 @@ def resynthesize_for_coverage(
         history=driver.history,
         runtime=time.monotonic() - t0,
         baseline_runtime=baseline,
+        stats=driver.stats,
     )

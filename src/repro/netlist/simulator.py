@@ -20,6 +20,7 @@ resynthesis loop — pays the compile cost once.
 
 from __future__ import annotations
 
+import os
 import weakref
 from collections import OrderedDict
 from functools import lru_cache
@@ -30,8 +31,15 @@ from repro.utils.observability import EngineStats
 
 Evaluator = Callable[..., int]
 
+# Bound of the global (n_inputs, truth_table) -> evaluator cache.  Real
+# libraries have a few dozen distinct cell functions, so the bound only
+# matters for adversarial workloads (e.g. fuzzing over random truth
+# tables) where an unbounded cache is a slow leak.  Tunable via the
+# environment for such runs; hit/miss counts surface on EngineStats.
+EVAL_CACHE_SIZE = int(os.environ.get("REPRO_EVAL_CACHE_SIZE", "1024"))
 
-@lru_cache(maxsize=None)
+
+@lru_cache(maxsize=EVAL_CACHE_SIZE)
 def compile_cell_eval(n_inputs: int, tt: int) -> Evaluator:
     """Compile a truth table into a bitwise evaluator.
 
@@ -104,7 +112,11 @@ class CompiledCircuit:
     circuit and invalidated when the circuit's topology changes.
     """
 
-    GOOD_CACHE_SIZE = 32
+    # Per-plan LRU bound for good-machine value vectors.  A class
+    # attribute on purpose: it is a tunable — assign to it (or set
+    # REPRO_GOOD_CACHE_SIZE) to trade memory for good-simulation reuse;
+    # instances may also override it individually.
+    GOOD_CACHE_SIZE = int(os.environ.get("REPRO_GOOD_CACHE_SIZE", "32"))
 
     __slots__ = (
         "circuit", "cells", "pi_order", "net_index", "n_nets",
@@ -199,11 +211,21 @@ class CompiledCircuit:
             if stats is not None:
                 stats.plan_cache_hits += 1
             return plan
+        # cache_info is absent when tests substitute a bare function for
+        # the lru-cached evaluator compiler — skip the delta then.
+        info = getattr(compile_cell_eval, "cache_info", None)
+        before = info() if info is not None else None
         plan = cls(circuit, cells)
         _PLAN_CACHE[circuit] = plan
         if stats is not None:
             stats.plan_builds += 1
             stats.eval_compiles += plan.eval_compiles
+            if before is not None:
+                after = compile_cell_eval.cache_info()
+                # Concurrent builds may skew the deltas; clamp at zero so
+                # the counters stay monotone.
+                stats.eval_cache_hits += max(0, after.hits - before.hits)
+                stats.eval_cache_misses += max(0, after.misses - before.misses)
         return plan
 
     # ------------------------------------------------------------------

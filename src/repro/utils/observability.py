@@ -35,6 +35,16 @@ class EngineStats:
       built vs. reused;
     * ``eval_compiles`` — distinct ``(n_inputs, truth_table)`` cell
       evaluators compiled while building plans;
+    * ``eval_cache_hits`` / ``eval_cache_misses`` — lookups into the
+      bounded global evaluator cache served vs. compiled fresh;
+    * ``verdicts_inherited`` / ``verdicts_proved`` — behaviour classes
+      whose detected/undetectable verdict was carried over from a
+      functionally-equivalent prior analysis vs. proved in this run;
+    * ``faults_carried`` / ``faults_extracted`` — fault objects reused
+      from a previous design state's fault set vs. enumerated fresh;
+    * ``clusters_reused`` / ``clusters_recomputed`` — undetectable-fault
+      clusters carried over unchanged by the incremental union-find
+      update vs. re-derived after a local circuit change;
     * ``batches`` — pattern batches fault-simulated;
     * ``parallel_chunks`` — work chunks dispatched to worker threads;
     * ``sat_calls`` / ``sat_conflicts`` / ``sat_propagations`` — exact
@@ -49,6 +59,14 @@ class EngineStats:
     plan_builds: int = 0
     plan_cache_hits: int = 0
     eval_compiles: int = 0
+    eval_cache_hits: int = 0
+    eval_cache_misses: int = 0
+    verdicts_inherited: int = 0
+    verdicts_proved: int = 0
+    faults_carried: int = 0
+    faults_extracted: int = 0
+    clusters_reused: int = 0
+    clusters_recomputed: int = 0
     batches: int = 0
     parallel_chunks: int = 0
     sat_calls: int = 0
@@ -77,6 +95,14 @@ class EngineStats:
         self.plan_builds += other.plan_builds
         self.plan_cache_hits += other.plan_cache_hits
         self.eval_compiles += other.eval_compiles
+        self.eval_cache_hits += other.eval_cache_hits
+        self.eval_cache_misses += other.eval_cache_misses
+        self.verdicts_inherited += other.verdicts_inherited
+        self.verdicts_proved += other.verdicts_proved
+        self.faults_carried += other.faults_carried
+        self.faults_extracted += other.faults_extracted
+        self.clusters_reused += other.clusters_reused
+        self.clusters_recomputed += other.clusters_recomputed
         self.batches += other.batches
         self.parallel_chunks += other.parallel_chunks
         self.sat_calls += other.sat_calls
@@ -95,6 +121,14 @@ class EngineStats:
             "plan_builds": self.plan_builds,
             "plan_cache_hits": self.plan_cache_hits,
             "eval_compiles": self.eval_compiles,
+            "eval_cache_hits": self.eval_cache_hits,
+            "eval_cache_misses": self.eval_cache_misses,
+            "verdicts_inherited": self.verdicts_inherited,
+            "verdicts_proved": self.verdicts_proved,
+            "faults_carried": self.faults_carried,
+            "faults_extracted": self.faults_extracted,
+            "clusters_reused": self.clusters_reused,
+            "clusters_recomputed": self.clusters_recomputed,
             "batches": self.batches,
             "parallel_chunks": self.parallel_chunks,
             "sat_calls": self.sat_calls,
@@ -103,3 +137,44 @@ class EngineStats:
             "phase_seconds": dict(self.phase_seconds),
         }
         return out
+
+
+@dataclass
+class ResynthesisStats:
+    """Effort counters for one run of the resynthesis procedure.
+
+    * ``candidates_evaluated`` — candidate implementations actually
+      synthesized and placed (evaluation-cache misses);
+    * ``candidates_speculated`` — candidates whose evaluation was
+      started ahead of the in-order acceptance scan;
+    * ``candidates_wasted`` — speculated evaluations whose result was
+      never consumed by the pass that requested them (they stay in the
+      evaluation cache and may still pay off in a later pass or q step);
+    * ``candidate_cache_hits`` / ``candidate_cache_misses`` — lookups
+      into the (state, replacement, allowed-cells) evaluation cache;
+    * ``backtrack_attempts`` — attempts issued by the Section III-C
+      backtracking search;
+    * ``engine`` — merged :class:`EngineStats` of every fault-analysis
+      run the procedure triggered (verdicts inherited vs. proved, faults
+      carried vs. extracted, incremental cluster updates, ...).
+    """
+
+    candidates_evaluated: int = 0
+    candidates_speculated: int = 0
+    candidates_wasted: int = 0
+    candidate_cache_hits: int = 0
+    candidate_cache_misses: int = 0
+    backtrack_attempts: int = 0
+    engine: EngineStats = field(default_factory=EngineStats)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot (used by the perf harness)."""
+        return {
+            "candidates_evaluated": self.candidates_evaluated,
+            "candidates_speculated": self.candidates_speculated,
+            "candidates_wasted": self.candidates_wasted,
+            "candidate_cache_hits": self.candidate_cache_hits,
+            "candidate_cache_misses": self.candidate_cache_misses,
+            "backtrack_attempts": self.backtrack_attempts,
+            "engine": self.engine.as_dict(),
+        }

@@ -1,0 +1,255 @@
+"""Differential tests: incremental/speculative resynthesis vs the full
+serial re-analysis.
+
+The perf paths (candidate-evaluation caching, speculative stage-1
+evaluation, verdict inheritance, incremental fault extraction and
+cluster updates) must be invisible in every produced result: identical
+iteration history, identical verdicts, identical clusters, identical
+final metrics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.atpg import run_atpg
+from repro.bench import build_benchmark
+from repro.core import (
+    ResynthesisConfig,
+    analyze_design,
+    cluster_undetectable,
+    cluster_undetectable_incremental,
+    resynthesize_for_coverage,
+)
+from repro.faults import enumerate_internal_faults
+from repro.faults.collapse import behaviour_key
+from repro.faults.model import StuckAtFault
+from repro.netlist import Circuit, extract_subcircuit, replace_subcircuit
+from repro.synthesis import synthesize
+from repro.utils.observability import EngineStats
+
+
+def _trace(result):
+    return [
+        (h.phase, h.q, h.csub_size, h.excluded_upto, h.status,
+         h.u_total, h.smax)
+        for h in result.history
+    ]
+
+
+def _cluster_ids(state):
+    return [[f.fault_id for f in c] for c in state.clusters.clusters]
+
+
+@pytest.fixture(scope="module")
+def tlu(library):
+    return build_benchmark("sparc_tlu", library)
+
+
+@pytest.fixture(scope="module")
+def incremental_run(tlu, library):
+    cfg = ResynthesisConfig(
+        q_max=1, max_iterations_per_phase=3, incremental=True, workers=1
+    )
+    return resynthesize_for_coverage(tlu, library, cfg)
+
+
+@pytest.fixture(scope="module")
+def legacy_run(tlu, library):
+    # The pre-incremental evaluation pipeline: double ATPG per accepted
+    # attempt, full re-clustering, no verdict inheritance beyond the
+    # original assume_undetectable, no cross-q candidate reuse.
+    cfg = ResynthesisConfig(
+        q_max=1, max_iterations_per_phase=3,
+        incremental=False, candidate_cache_size=1,
+    )
+    return resynthesize_for_coverage(tlu, library, cfg)
+
+
+class TestFullProcedureDifferential:
+    def test_iteration_history_identical(self, incremental_run, legacy_run):
+        assert _trace(incremental_run) == _trace(legacy_run)
+
+    def test_covers_both_phases_and_backtracking(self, incremental_run):
+        statuses = {h.status for h in incremental_run.history}
+        phases = {h.phase for h in incremental_run.history}
+        # The differential is only meaningful if the workload exercises
+        # an accepted episode (here via backtracking) and both phases.
+        assert "backtrack-accepted" in statuses or "accepted" in statuses
+        assert phases == {1, 2}
+
+    def test_final_metrics_identical(self, incremental_run, legacy_run):
+        assert incremental_run.q_used == legacy_run.q_used
+        a, b = incremental_run.final, legacy_run.final
+        assert a.u_total == b.u_total
+        assert a.smax_size == b.smax_size
+        assert a.smax_fraction_of_f == b.smax_fraction_of_f
+
+    def test_verdict_sets_identical(self, incremental_run, legacy_run):
+        for q in incremental_run.per_q:
+            a = incremental_run.per_q[q]
+            b = legacy_run.per_q[q]
+            assert a.atpg.undetectable == b.atpg.undetectable
+            assert a.atpg.detected == b.atpg.detected
+
+    def test_clusters_identical(self, incremental_run, legacy_run):
+        assert _cluster_ids(incremental_run.final) == _cluster_ids(
+            legacy_run.final
+        )
+
+    def test_effort_counters_populated(self, incremental_run):
+        stats = incremental_run.stats
+        assert stats.candidates_evaluated > 0
+        assert stats.candidate_cache_misses >= stats.candidates_evaluated
+        assert stats.backtrack_attempts > 0
+        assert stats.engine.verdicts_inherited > 0
+        assert stats.engine.verdicts_proved > 0
+        assert stats.engine.faults_carried > 0
+        assert stats.engine.faults_extracted > 0
+        assert stats.engine.clusters_recomputed > 0
+        as_dict = stats.as_dict()
+        assert as_dict["candidates_evaluated"] == stats.candidates_evaluated
+        assert as_dict["engine"]["verdicts_inherited"] > 0
+
+
+def test_speculative_evaluation_deterministic(tlu, library, incremental_run):
+    """workers=4 (speculation pool) reproduces the workers=1 run bit for
+    bit: same history, same final state, and speculation happened."""
+    cfg = ResynthesisConfig(
+        q_max=1, max_iterations_per_phase=3, incremental=True, workers=4
+    )
+    spec = resynthesize_for_coverage(tlu, library, cfg)
+    assert _trace(spec) == _trace(incremental_run)
+    assert spec.final.u_total == incremental_run.final.u_total
+    assert spec.final.smax_size == incremental_run.final.smax_size
+    assert spec.final.atpg.undetectable == (
+        incremental_run.final.atpg.undetectable
+    )
+    assert _cluster_ids(spec.final) == _cluster_ids(incremental_run.final)
+    assert spec.stats.candidates_speculated > 0
+
+
+class TestIncrementalAnalyze:
+    @pytest.fixture(scope="class")
+    def replaced(self, tlu, library):
+        prev = analyze_design(tlu, library, seed=0, atpg_seed=0)
+        region = set(sorted(prev.clusters.gmax)[:4])
+        sub = extract_subcircuit(prev.circuit, region, name="csub")
+        new_sub = synthesize(sub, library, objective="faults")
+        candidate = replace_subcircuit(prev.circuit, region, new_sub)
+        return prev, candidate
+
+    def test_matches_full_reanalysis(self, replaced, library):
+        prev, candidate = replaced
+        stats = EngineStats()
+        inc = analyze_design(
+            candidate, library, seed=0, atpg_seed=0, prev=prev, stats=stats
+        )
+        full = analyze_design(candidate, library, seed=0, atpg_seed=0)
+        assert inc.atpg.undetectable == full.atpg.undetectable
+        assert inc.atpg.detected == full.atpg.detected
+        assert [f.fault_id for f in inc.fault_set] == [
+            f.fault_id for f in full.fault_set
+        ]
+        assert _cluster_ids(inc) == _cluster_ids(full)
+        assert inc.clusters.fault_gates == full.clusters.fault_gates
+        assert stats.verdicts_inherited > 0
+        assert stats.faults_carried > 0
+
+    def test_carried_faults_are_previous_objects(self, replaced, library):
+        prev, candidate = replaced
+        from repro.dfm.translate import build_fault_set
+
+        fs = build_fault_set(
+            candidate, library, prev.physical.layout,
+            prev_fault_set=prev.fault_set, prev_circuit=prev.circuit,
+        )
+        prev_by_id = prev.fault_set.by_id()
+        carried = [
+            f for f in fs.internal if f.fault_id in prev_by_id
+        ]
+        assert carried
+        assert all(f is prev_by_id[f.fault_id] for f in carried)
+
+
+class TestIncrementalClustering:
+    def _chains(self, second_inv: str) -> Circuit:
+        """Two disconnected chains; the second one's inverter varies."""
+        c = Circuit("pair")
+        for pi in ("a", "b", "cc", "d"):
+            c.add_input(pi)
+        c.add_gate("g1", "NAND2X1", {"A": "a", "B": "b"}, "n1")
+        c.add_gate("g2", "INVX1", {"A": "n1"}, "o1")
+        c.add_gate("g3", "NAND2X1", {"A": "cc", "B": "d"}, "n2")
+        c.add_gate(second_inv, "INVX1", {"A": "n2"}, "o2")
+        c.set_outputs(["o1", "o2"])
+        c.validate()
+        return c
+
+    def test_reuses_untouched_cluster(self, cells):
+        prev_circuit = self._chains("g4")
+        new_circuit = self._chains("g5")
+
+        def stem(net, circuit_tag):
+            return StuckAtFault(
+                f"sa0:{net}@{circuit_tag}", "VIA-01", net=net, value=0
+            )
+
+        prev_undet = [stem("n1", "p"), stem("o1", "p"), stem("n2", "p")]
+        prev_report = cluster_undetectable(prev_circuit, prev_undet)
+        assert len(prev_report.clusters) == 2
+
+        # After the local change, the chain-2 fault reappears at a new
+        # site (new id); the chain-1 faults survive verbatim.
+        new_undet = [stem("n1", "p"), stem("o1", "p"), stem("n2", "n")]
+        stats = EngineStats()
+        inc = cluster_undetectable_incremental(
+            new_circuit, new_undet, prev_circuit, prev_report, stats=stats
+        )
+        full = cluster_undetectable(new_circuit, new_undet)
+        assert [[f.fault_id for f in c] for c in inc.clusters] == [
+            [f.fault_id for f in c] for c in full.clusters
+        ]
+        assert inc.fault_gates == full.fault_gates
+        assert stats.clusters_reused == 1  # the untouched chain-1 cluster
+        assert stats.clusters_recomputed == 1
+
+    def test_matches_full_on_designed_state(self, tlu, library):
+        prev = analyze_design(tlu, library, seed=0, atpg_seed=0)
+        region = set(sorted(prev.clusters.gmax)[:3])
+        sub = extract_subcircuit(prev.circuit, region, name="csub")
+        new_sub = synthesize(sub, library, objective="faults")
+        candidate = replace_subcircuit(prev.circuit, region, new_sub)
+        full_state = analyze_design(candidate, library, seed=0, atpg_seed=0)
+        undet = full_state.undetectable_faults
+        inc = cluster_undetectable_incremental(
+            candidate, undet, prev.circuit, prev.clusters
+        )
+        assert [[f.fault_id for f in c] for c in inc.clusters] == (
+            _cluster_ids(full_state)
+        )
+        assert inc.fault_gates == full_state.clusters.fault_gates
+
+
+def test_assume_detected_short_circuits(adder4, cells, library):
+    """Detected verdicts inherit exactly like undetectable ones."""
+    faults = enumerate_internal_faults(adder4, library)
+    faults.append(StuckAtFault("sa0:x", "VIA-01", net="s0", value=0))
+    base = run_atpg(adder4, cells, faults, seed=1)
+    det_keys = {
+        behaviour_key(f) for f in faults if f.fault_id in base.detected
+    }
+    undet_keys = {
+        behaviour_key(f) for f in faults if f.fault_id in base.undetectable
+    }
+    stats = EngineStats()
+    again = run_atpg(
+        adder4, cells, faults, seed=1,
+        assume_undetectable=undet_keys, assume_detected=det_keys,
+        stats=stats,
+    )
+    assert again.undetectable == base.undetectable
+    assert again.detected == base.detected
+    assert again.sat_calls == 0  # every class verdict was inherited
+    assert stats.verdicts_inherited > 0
+    assert stats.verdicts_proved == 0
