@@ -192,13 +192,13 @@ def analyze_design(
     """
     cells = {c.name: c for c in library}
     timings: Dict[str, float] = {}
-    t0 = time.monotonic()
+    t0 = time.perf_counter()
     if physical is None:
         physical = pdesign(
             circuit, cells, floorplan=floorplan, seed=seed,
             utilization=utilization,
         )
-    timings["pdesign"] = time.monotonic() - t0
+    timings["pdesign"] = time.perf_counter() - t0
 
     assume_undet = set(assume_undetectable) if assume_undetectable else None
     assume_det = set(assume_detected) if assume_detected else None
@@ -210,14 +210,14 @@ def analyze_design(
         if initial_tests is None:
             initial_tests = prev.tests
 
-    t0 = time.monotonic()
+    t0 = time.perf_counter()
     fault_set = build_fault_set(
         circuit, library, physical.layout, guidelines,
         prev_fault_set=prev.fault_set if prev is not None else None,
         prev_circuit=prev.circuit if prev is not None else None,
         stats=stats,
     )
-    timings["fault_extraction"] = time.monotonic() - t0
+    timings["fault_extraction"] = time.perf_counter() - t0
 
     if internal_atpg is not None:
         from repro.faults.collapse import behaviour_key
@@ -231,7 +231,7 @@ def analyze_design(
                 assume_det.add(behaviour_key(f))
         initial_tests = list(internal_atpg.tests) + list(initial_tests or [])
 
-    t0 = time.monotonic()
+    t0 = time.perf_counter()
     atpg = run_atpg(
         circuit, cells, fault_set.faults,
         seed=atpg_seed, initial_tests=initial_tests,
@@ -240,8 +240,8 @@ def analyze_design(
         workers=workers,
         stats=stats,
     )
-    timings["atpg"] = time.monotonic() - t0
-    t0 = time.monotonic()
+    timings["atpg"] = time.perf_counter() - t0
+    t0 = time.perf_counter()
     undetectable = [
         f for f in fault_set if f.fault_id in atpg.undetectable
     ]
@@ -252,7 +252,7 @@ def analyze_design(
         )
     else:
         clusters = cluster_undetectable(circuit, undetectable)
-    timings["clustering"] = time.monotonic() - t0
+    timings["clustering"] = time.perf_counter() - t0
     return DesignState(
         circuit=circuit,
         physical=physical,

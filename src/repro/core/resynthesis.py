@@ -557,13 +557,13 @@ def resynthesize_for_coverage(
     """Apply the full procedure (both phases, q swept 0..q_max)."""
     cfg = config or ResynthesisConfig()
     stats = ResynthesisStats()
-    t0 = time.monotonic()
+    t0 = time.perf_counter()
     orig = analyze_design(
         circuit, library, seed=cfg.seed, utilization=cfg.utilization,
         guidelines=cfg.guidelines, atpg_seed=cfg.seed,
         workers=cfg.workers, stats=stats.engine,
     )
-    baseline = time.monotonic() - t0
+    baseline = time.perf_counter() - t0
     driver = _Resynthesizer(library, orig, cfg, stats=stats)
     try:
         state = orig
@@ -587,7 +587,7 @@ def resynthesize_for_coverage(
         per_q=per_q,
         q_used=q_used,
         history=driver.history,
-        runtime=time.monotonic() - t0,
+        runtime=time.perf_counter() - t0,
         baseline_runtime=baseline,
         stats=driver.stats,
     )

@@ -404,20 +404,29 @@ def fault_simulate(
     pool (chunks balanced by output-cone size); each fault's simulation
     is independent and results are merged back by fault index, so the
     output is bit-identical to the serial path.
+
+    Counter discipline: nothing records into the caller's *stats* while
+    worker threads run.  Every count lands in a private per-call
+    instance (worker threads count into their own chunk contexts, whose
+    event totals are folded in at join, on the dispatching thread), and
+    the per-call instance is merged into *stats* in one atomic step at
+    the end — so a shared EngineStats never loses increments, and the
+    counters of a ``workers=N`` run equal those of a serial run.
     """
-    ctx = _make_context(circuit, cells, batch, stats=stats)
-    if stats is not None:
-        stats.batches += 1
-        stats.faults_simulated += len(faults)
+    local = EngineStats()
+    ctx = _make_context(circuit, cells, batch, stats=local)
+    local.batches += 1
+    local.faults_simulated += len(faults)
     if workers <= 1 or len(faults) < max(_MIN_PARALLEL_FAULTS, workers):
         results = [_simulate_one(ctx, fault) for fault in faults]
+        local.events_propagated += ctx.events
         if stats is not None:
-            stats.events_propagated += ctx.events
+            stats.merge(local)
         return results
 
     chunks = _partition_faults(ctx, faults, workers)
     results: List[int] = [0] * len(faults)
-    events = ctx.events
+    local.events_propagated += ctx.events
 
     def run_chunk(chunk: List[int]) -> Tuple[List[Tuple[int, int]], int]:
         view = ctx.fork()
@@ -426,12 +435,12 @@ def fault_simulate(
 
     with ThreadPoolExecutor(max_workers=workers) as pool:
         for out, chunk_events in pool.map(run_chunk, chunks):
-            events += chunk_events
+            local.events_propagated += chunk_events
             for i, word in out:
                 results[i] = word
+    local.parallel_chunks += len(chunks)
     if stats is not None:
-        stats.parallel_chunks += len(chunks)
-        stats.events_propagated += events
+        stats.merge(local)
     return results
 
 

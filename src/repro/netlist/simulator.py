@@ -21,6 +21,7 @@ resynthesis loop — pays the compile cost once.
 from __future__ import annotations
 
 import os
+import threading
 import weakref
 from collections import OrderedDict
 from functools import lru_cache
@@ -122,7 +123,8 @@ class CompiledCircuit:
         "circuit", "cells", "pi_order", "net_index", "n_nets",
         "gate_names", "gate_index", "gate_fn", "gate_in", "gate_out",
         "gate_eval", "loads_of", "is_po", "po_index", "eval_compiles",
-        "good_cache", "_cone_sizes", "_topo_ref", "__weakref__",
+        "good_cache", "_good_lock", "_cone_sizes", "_topo_ref",
+        "__weakref__",
     )
 
     def __init__(self, circuit: Circuit, cells: Mapping[str, CellDef]):
@@ -188,6 +190,12 @@ class CompiledCircuit:
             po_index.append(idx)
         self.po_index = po_index
         self.good_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
+        # Fault-partition worker threads (and concurrent candidate
+        # evaluations sharing one plan) all consult the LRU; OrderedDict
+        # get/move_to_end/popitem are not safe to interleave, so every
+        # cache touch happens under this lock.  The good simulation
+        # itself runs outside the lock.
+        self._good_lock = threading.Lock()
         self._cone_sizes: Optional[List[int]] = None
 
     # ------------------------------------------------------------------
@@ -205,8 +213,16 @@ class CompiledCircuit:
         cells: Mapping[str, CellDef],
         stats: Optional[EngineStats] = None,
     ) -> "CompiledCircuit":
-        """Cached plan for (*circuit*, *cells*); rebuilt after mutation."""
-        plan = _PLAN_CACHE.get(circuit)
+        """Cached plan for (*circuit*, *cells*); rebuilt after mutation.
+
+        Thread-safe: the module-level plan cache is consulted and
+        updated under a lock (WeakKeyDictionary mutation may race with
+        GC callbacks from other threads).  Plan construction runs
+        outside the lock, so two threads may build the same plan
+        concurrently — the plans are identical and the last insert wins.
+        """
+        with _PLAN_LOCK:
+            plan = _PLAN_CACHE.get(circuit)
         if plan is not None and plan.valid_for(circuit, cells):
             if stats is not None:
                 stats.plan_cache_hits += 1
@@ -216,7 +232,8 @@ class CompiledCircuit:
         info = getattr(compile_cell_eval, "cache_info", None)
         before = info() if info is not None else None
         plan = cls(circuit, cells)
-        _PLAN_CACHE[circuit] = plan
+        with _PLAN_LOCK:
+            _PLAN_CACHE[circuit] = plan
         if stats is not None:
             stats.plan_builds += 1
             stats.eval_compiles += plan.eval_compiles
@@ -256,19 +273,33 @@ class CompiledCircuit:
         mask: int,
         stats: Optional[EngineStats] = None,
     ) -> Tuple[List[int], ...]:
-        """LRU-cached good-machine simulation of packed input *frames*."""
-        cached = self.good_cache.get(batch_key)
-        if cached is not None:
-            self.good_cache.move_to_end(batch_key)
-            if stats is not None:
-                stats.good_cache_hits += len(cached)
-            return cached
+        """LRU-cached good-machine simulation of packed input *frames*.
+
+        Thread-safe: lookups, recency updates and eviction are guarded
+        by the plan's lock; a racing miss may simulate the same frames
+        twice (the results are identical), but the hit/miss counters and
+        the cache structure stay consistent.
+        """
+        with self._good_lock:
+            cached = self.good_cache.get(batch_key)
+            if cached is not None:
+                self.good_cache.move_to_end(batch_key)
+                if stats is not None:
+                    stats.good_cache_hits += len(cached)
+                return cached
         result = tuple(self.simulate_values(f, mask) for f in frames)
         if stats is not None:
             stats.good_simulations += len(result)
-        self.good_cache[batch_key] = result
-        while len(self.good_cache) > self.GOOD_CACHE_SIZE:
-            self.good_cache.popitem(last=False)
+        with self._good_lock:
+            winner = self.good_cache.get(batch_key)
+            if winner is not None:
+                # Another thread simulated the same frames first; serve
+                # its (identical) vectors so every caller shares one copy.
+                self.good_cache.move_to_end(batch_key)
+                return winner
+            self.good_cache[batch_key] = result
+            while len(self.good_cache) > self.GOOD_CACHE_SIZE:
+                self.good_cache.popitem(last=False)
         return result
 
     def cone_sizes(self) -> List[int]:
@@ -299,11 +330,13 @@ class CompiledCircuit:
 _PLAN_CACHE: "weakref.WeakKeyDictionary[Circuit, CompiledCircuit]" = (
     weakref.WeakKeyDictionary()
 )
+_PLAN_LOCK = threading.Lock()
 
 
 def clear_compiled_cache() -> None:
     """Drop all cached plans and compiled evaluators (test hook)."""
-    _PLAN_CACHE.clear()
+    with _PLAN_LOCK:
+        _PLAN_CACHE.clear()
     compile_cell_eval.cache_clear()
 
 

@@ -1,0 +1,432 @@
+"""DAG execution: timeouts, retries with backoff, isolation, resume.
+
+:class:`Runner` executes a :class:`~repro.runner.model.CampaignSpec` in
+deterministic topological order.  Around every task it journals
+``task_start`` / ``task_end`` events (fsync'd before proceeding), so the
+run directory always reflects exactly what has finished — a SIGKILL,
+OOM, or power cut mid-campaign loses at most the task that was running.
+
+Execution policy per task:
+
+* **timeout** — wall-clock bound per attempt.  Process-isolated tasks
+  are killed preemptively; inline tasks run on a daemon worker thread
+  that is abandoned on timeout (best-effort — use ``isolation:
+  "process"`` for tasks that must be preemptible).
+* **retries / backoff** — a failed attempt is retried up to ``retries``
+  times, sleeping ``backoff * 2**(attempt-1)`` seconds in between; every
+  retry is journaled.
+* **isolation** — ``"process"`` runs the task in a fresh interpreter
+  (``python -m repro.runner._worker``): heavy tasks cannot corrupt or
+  OOM the orchestrator, and their timeouts are enforced with a kill.
+
+Resume replays the journal and re-executes only tasks that are missing,
+failed, interrupted, or whose input fingerprint changed; completed tasks
+are reused from their journaled payloads (``task_cached`` events record
+every reuse).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.runner.journal import Journal, RunLedger, read_journal, replay
+from repro.runner.model import (
+    CampaignSpec,
+    TaskSpec,
+    env_knobs,
+    fingerprint_task,
+)
+from repro.runner.registry import TaskContext, fingerprint_extra, get_task
+from repro.runner.report import build_report, write_report
+
+DEFAULT_RUNS_ROOT = os.path.join("benchmarks", "results", "runs")
+
+
+class TaskFailure(Exception):
+    """One attempt failed; ``status`` is ``failed`` or ``timeout``."""
+
+    def __init__(self, message: str, status: str = "failed"):
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class TaskOutcome:
+    """Terminal state of one task within this orchestrator process."""
+
+    task_id: str
+    kind: str
+    status: str  # "ok" | "cached" | "failed" | "timeout" | "skipped"
+    payload: Optional[dict] = None
+    duration: float = 0.0
+    attempts: int = 0
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ok", "cached")
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "status": self.status,
+            "payload": self.payload,
+            "duration": self.duration,
+            "attempts": self.attempts,
+        }
+
+
+@dataclass
+class Runner:
+    """Executes one campaign against one run directory."""
+
+    campaign: CampaignSpec
+    root: str = DEFAULT_RUNS_ROOT
+    store: Optional[dict] = None
+    # Failure-injection hook: called right after a task_start event is
+    # journaled, before the task body runs (used by tests/CI to SIGKILL
+    # the orchestrator mid-task).
+    on_task_start: Optional[Callable[[str, int], None]] = None
+    sleep: Callable[[float], None] = time.sleep
+
+    outcomes: "OrderedDict[str, TaskOutcome]" = field(
+        default_factory=OrderedDict
+    )
+
+    def __post_init__(self):
+        self.run_dir = os.path.join(self.root, self.campaign.run_id)
+        self.journal: Optional[Journal] = None
+        self.ledger: RunLedger = RunLedger()
+        self._fps: Dict[str, str] = {}
+        self._known = {t.task_id for t in self.campaign.tasks}
+
+    # ------------------------------------------------------------------
+    @property
+    def journal_path(self) -> str:
+        return os.path.join(self.run_dir, "journal.jsonl")
+
+    @property
+    def campaign_path(self) -> str:
+        return os.path.join(self.run_dir, "campaign.json")
+
+    def _ensure_started(self) -> None:
+        if self.journal is not None:
+            return
+        os.makedirs(self.run_dir, exist_ok=True)
+        prior = (
+            read_journal(self.journal_path)
+            if os.path.exists(self.journal_path) else []
+        )
+        self.ledger = replay(prior)
+        self.campaign.save(self.campaign_path)
+        self.journal = Journal(self.journal_path)
+        if not prior:
+            self.journal.append({
+                "event": "run_start",
+                "run_id": self.campaign.run_id,
+                "n_tasks": len(self.campaign.tasks),
+                "env": env_knobs(),
+                "meta": dict(self.campaign.meta),
+            })
+        else:
+            self.journal.append({
+                "event": "run_resume",
+                "run_id": self.campaign.run_id,
+            })
+
+    # ------------------------------------------------------------------
+    def execute(self) -> dict:
+        """Run every task (topological order) and finalize the report."""
+        order = self.campaign.topo_order()  # validates before any I/O
+        self._ensure_started()
+        for spec in order:
+            self._execute_spec(spec)
+        return self.finalize()
+
+    def execute_spec(self, spec: TaskSpec) -> TaskOutcome:
+        """Incremental API: append *spec* to the campaign and run it.
+
+        Used by the pytest benchmark harness, which discovers its tasks
+        lazily; the campaign file is rewritten so the run stays
+        resumable.
+        """
+        if spec.task_id not in self._known:
+            self.campaign.tasks.append(spec)
+            self._known.add(spec.task_id)
+            self._ensure_started()
+            self.campaign.save(self.campaign_path)
+        else:
+            self._ensure_started()
+        return self._execute_spec(spec)
+
+    def finalize(self) -> dict:
+        """Journal the aggregated report and the run_end event."""
+        self._ensure_started()
+        failed = [o for o in self.outcomes.values() if not o.ok]
+        status = "failed" if failed else "ok"
+        report = build_report(
+            self.campaign.meta,
+            self.campaign.run_id,
+            OrderedDict(
+                (tid, o.as_dict()) for tid, o in self.outcomes.items()
+            ),
+        )
+        self.journal.append({"event": "report", "report": report})
+        write_report(self.run_dir, report)
+        self.journal.append({
+            "event": "run_end",
+            "run_id": self.campaign.run_id,
+            "status": status,
+        })
+        self.journal.close()
+        self.journal = None
+        return report
+
+    # ------------------------------------------------------------------
+    def _fingerprint(self, spec: TaskSpec) -> str:
+        fp = self._fps.get(spec.task_id)
+        if fp is None:
+            missing = [d for d in spec.deps if d not in self._fps]
+            for dep in missing:
+                raise RuntimeError(
+                    f"task {spec.task_id}: dep {dep} not yet fingerprinted"
+                )
+            fp = fingerprint_task(
+                spec, self._fps,
+                extra=fingerprint_extra(spec.kind, spec.params),
+            )
+            self._fps[spec.task_id] = fp
+        return fp
+
+    def _execute_spec(self, spec: TaskSpec) -> TaskOutcome:
+        done = self.outcomes.get(spec.task_id)
+        if done is not None:
+            return done
+        fp = self._fingerprint(spec)
+
+        # Completed in a previous orchestrator life with the same
+        # fingerprint: reuse the journaled result, re-execute nothing.
+        cached = self.ledger.completed(spec.task_id, fp)
+        if cached is not None:
+            self.journal.append({
+                "event": "task_cached",
+                "task": spec.task_id,
+                "fingerprint": fp,
+            })
+            outcome = TaskOutcome(
+                spec.task_id, spec.kind, "cached",
+                payload=cached.payload, duration=cached.duration,
+                attempts=cached.attempts,
+            )
+            self.outcomes[spec.task_id] = outcome
+            return outcome
+
+        bad_deps = [
+            d for d in spec.deps if not self.outcomes[d].ok
+        ]
+        if bad_deps:
+            self.journal.append({
+                "event": "task_skipped",
+                "task": spec.task_id,
+                "reason": "dep-failed",
+                "deps": bad_deps,
+            })
+            outcome = TaskOutcome(
+                spec.task_id, spec.kind, "skipped",
+                error=f"dependencies failed: {bad_deps}",
+            )
+            self.outcomes[spec.task_id] = outcome
+            return outcome
+
+        outcome = self._run_attempts(spec, fp)
+        self.outcomes[spec.task_id] = outcome
+        return outcome
+
+    def _run_attempts(self, spec: TaskSpec, fp: str) -> TaskOutcome:
+        ctx = TaskContext(
+            run_dir=self.run_dir,
+            task_id=spec.task_id,
+            deps={d: self.outcomes[d].payload or {} for d in spec.deps},
+            dep_meta={
+                d: {"kind": self.outcomes[d].kind,
+                    "status": self.outcomes[d].status}
+                for d in spec.deps
+            },
+            store=self.store,
+        )
+        attempts = spec.retries + 1
+        last_error: Optional[TaskFailure] = None
+        for attempt in range(1, attempts + 1):
+            ctx.attempt = attempt
+            self.journal.append({
+                "event": "task_start",
+                "task": spec.task_id,
+                "kind": spec.kind,
+                "attempt": attempt,
+                "fingerprint": fp,
+            })
+            if self.on_task_start is not None:
+                self.on_task_start(spec.task_id, attempt)
+            t0 = time.perf_counter()
+            try:
+                if spec.isolation == "process":
+                    payload = self._attempt_process(spec, ctx)
+                else:
+                    payload = self._attempt_inline(spec, ctx)
+            except TaskFailure as exc:
+                duration = time.perf_counter() - t0
+                last_error = exc
+                self.journal.append({
+                    "event": "task_end",
+                    "task": spec.task_id,
+                    "attempt": attempt,
+                    "status": exc.status,
+                    "duration": duration,
+                    "error": str(exc),
+                })
+                if attempt < attempts:
+                    pause = spec.backoff * (2 ** (attempt - 1))
+                    self.journal.append({
+                        "event": "task_retry",
+                        "task": spec.task_id,
+                        "next_attempt": attempt + 1,
+                        "backoff": pause,
+                    })
+                    self.sleep(pause)
+                continue
+            duration = time.perf_counter() - t0
+            self.journal.append({
+                "event": "task_end",
+                "task": spec.task_id,
+                "attempt": attempt,
+                "status": "ok",
+                "duration": duration,
+                "fingerprint": fp,
+                "payload": payload,
+            })
+            return TaskOutcome(
+                spec.task_id, spec.kind, "ok",
+                payload=payload, duration=duration, attempts=attempt,
+            )
+        return TaskOutcome(
+            spec.task_id, spec.kind, last_error.status,
+            duration=0.0, attempts=attempts, error=str(last_error),
+        )
+
+    # ------------------------------------------------------------------
+    def _attempt_inline(self, spec: TaskSpec, ctx: TaskContext) -> dict:
+        fn = get_task(spec.kind)
+        if spec.timeout is None:
+            try:
+                return fn(spec.params, ctx)
+            except Exception as exc:
+                raise TaskFailure(f"{type(exc).__name__}: {exc}") from exc
+        box: dict = {}
+
+        def body() -> None:
+            try:
+                box["payload"] = fn(spec.params, ctx)
+            except BaseException as exc:  # captured, re-raised below
+                box["error"] = exc
+
+        worker = threading.Thread(
+            target=body, name=f"task-{spec.task_id}", daemon=True
+        )
+        worker.start()
+        worker.join(spec.timeout)
+        if worker.is_alive():
+            raise TaskFailure(
+                f"timeout after {spec.timeout}s (inline; thread abandoned)",
+                status="timeout",
+            )
+        if "error" in box:
+            exc = box["error"]
+            raise TaskFailure(f"{type(exc).__name__}: {exc}") from None
+        return box["payload"]
+
+    def _attempt_process(self, spec: TaskSpec, ctx: TaskContext) -> dict:
+        tmp_dir = os.path.join(self.run_dir, "tmp")
+        os.makedirs(tmp_dir, exist_ok=True)
+        stem = spec.task_id.replace(os.sep, "_")
+        in_path = os.path.join(tmp_dir, f"{stem}.{ctx.attempt}.in.json")
+        out_path = os.path.join(tmp_dir, f"{stem}.{ctx.attempt}.out.json")
+        if os.path.exists(out_path):
+            os.remove(out_path)
+        with open(in_path, "w") as fh:
+            json.dump({
+                "kind": spec.kind,
+                "params": dict(spec.params),
+                "task_id": spec.task_id,
+                "attempt": ctx.attempt,
+                "run_dir": self.run_dir,
+                "deps": ctx.deps,
+                "dep_meta": ctx.dep_meta,
+            }, fh)
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)
+        )))
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_root, env.get("PYTHONPATH")) if p
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.runner._worker",
+             in_path, out_path],
+            env=env,
+        )
+        try:
+            returncode = proc.wait(timeout=spec.timeout)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+            raise TaskFailure(
+                f"timeout after {spec.timeout}s (worker killed)",
+                status="timeout",
+            ) from None
+        if os.path.exists(out_path):
+            with open(out_path) as fh:
+                result = json.load(fh)
+            if result.get("status") == "ok":
+                return result["payload"]
+            raise TaskFailure(str(result.get("error", "worker error")))
+        raise TaskFailure(
+            f"worker exited with code {returncode} and wrote no result"
+        )
+
+
+# ----------------------------------------------------------------------
+def run_campaign(
+    campaign: CampaignSpec,
+    root: str = DEFAULT_RUNS_ROOT,
+    store: Optional[dict] = None,
+    on_task_start: Optional[Callable[[str, int], None]] = None,
+) -> dict:
+    """Execute *campaign* from scratch; returns the final report."""
+    runner = Runner(
+        campaign, root=root, store=store, on_task_start=on_task_start
+    )
+    return runner.execute()
+
+
+def resume(
+    run_id: str,
+    root: str = DEFAULT_RUNS_ROOT,
+    store: Optional[dict] = None,
+) -> dict:
+    """Resume *run_id* from its journal; returns the final report.
+
+    Replays ``<root>/<run_id>/journal.jsonl``, reuses every completed
+    task whose fingerprint still matches, and executes the rest.
+    """
+    campaign_path = os.path.join(root, run_id, "campaign.json")
+    campaign = CampaignSpec.load(campaign_path)
+    runner = Runner(campaign, root=root, store=store)
+    return runner.execute()

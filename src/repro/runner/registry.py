@@ -1,0 +1,78 @@
+"""Task-kind registry for the experiment orchestrator.
+
+Task implementations are plain functions ``(params, ctx) -> payload``
+registered under a kind name.  Payloads must be JSON-serializable: they
+are journaled verbatim in ``task_end`` events and shipped across the
+process-isolation boundary.  Rich Python results (e.g.
+:class:`~repro.core.flow.DesignState` objects) go into ``ctx.store``,
+which exists only for inline execution in the orchestrating process.
+
+A kind may also register a *fingerprint hook* — extra input-content
+material (e.g. a structural circuit hash) folded into the task's
+fingerprint so resume re-executes when the inputs, not just the
+parameters, changed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional
+
+TaskFn = Callable[[Mapping[str, object], "TaskContext"], dict]
+FingerprintFn = Callable[[Mapping[str, object]], object]
+
+_TASKS: Dict[str, TaskFn] = {}
+_FINGERPRINTS: Dict[str, FingerprintFn] = {}
+
+
+@dataclass
+class TaskContext:
+    """What a task implementation sees at execution time."""
+
+    run_dir: str
+    task_id: str
+    attempt: int = 1
+    deps: Dict[str, dict] = field(default_factory=dict)  # dep payloads
+    dep_meta: Dict[str, dict] = field(default_factory=dict)
+    store: Optional[dict] = None  # in-process object store (inline only)
+
+
+def task(name: str, fingerprint: Optional[FingerprintFn] = None):
+    """Register a task implementation under *name*."""
+
+    def decorator(fn: TaskFn) -> TaskFn:
+        if name in _TASKS:
+            raise ValueError(f"task kind {name!r} already registered")
+        _TASKS[name] = fn
+        if fingerprint is not None:
+            _FINGERPRINTS[name] = fingerprint
+        return fn
+
+    return decorator
+
+
+def get_task(name: str) -> TaskFn:
+    _ensure_builtin_tasks()
+    try:
+        return _TASKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown task kind {name!r}; known: {sorted(_TASKS)}"
+        ) from None
+
+
+def fingerprint_extra(name: str, params: Mapping[str, object]) -> object:
+    """Kind-specific input digest folded into the task fingerprint."""
+    _ensure_builtin_tasks()
+    if name not in _TASKS:
+        raise KeyError(
+            f"unknown task kind {name!r}; known: {sorted(_TASKS)}"
+        )
+    hook = _FINGERPRINTS.get(name)
+    return hook(params) if hook is not None else None
+
+
+def _ensure_builtin_tasks() -> None:
+    # Imported lazily so `import repro.runner` stays cheap and the
+    # registry module has no dependency on the heavy flow modules.
+    import repro.runner.tasks  # noqa: F401

@@ -1,0 +1,236 @@
+"""Final-report assembly, rendering, and volatile-field normalization.
+
+The report aggregates every task's journaled payload into one JSON
+document: the reconstructed Table I / Table II sections (when the
+campaign ran paper tasks), the raw per-task results, per-task execution
+metadata, and engine-effort totals (where wall-clock and SAT effort
+went).  It is journaled as the ``report`` event, written to
+``report.json`` in the run directory, and rendered by the CLI.
+
+:func:`normalize_report` strips every timing- and process-history-
+dependent field so that two runs of the same campaign — e.g. a
+straight-through run and a SIGKILL-interrupted-then-resumed run — can
+be compared byte-for-byte: the normalized reports must be identical.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Mapping, Optional
+
+# Fields that legitimately differ between two executions of identical
+# work: wall-clock stamps and durations, duration-derived ratios, and
+# cache-temperature counters that depend on what else already ran in
+# the same process (the compiled-evaluator and plan caches are shared
+# process-wide, so a resumed run sees them colder or warmer than a
+# straight-through run).
+VOLATILE_KEYS = frozenset({
+    "ts",
+    "duration",
+    "runtime",
+    "baseline_runtime",
+    "Rtime",
+    "phase_seconds",
+    "timings",
+    "attempts",
+    "run_id",
+    "eval_cache_hits",
+    "eval_cache_misses",
+    "eval_compiles",
+    "plan_builds",
+    "plan_cache_hits",
+})
+
+
+def normalize_report(report: object) -> object:
+    """Deep copy of *report* with every volatile field removed."""
+    if isinstance(report, Mapping):
+        return {
+            k: normalize_report(v)
+            for k, v in report.items()
+            if k not in VOLATILE_KEYS
+        }
+    if isinstance(report, (list, tuple)):
+        return [normalize_report(v) for v in report]
+    return report
+
+
+def _merge_numeric(dst: Dict[str, object], src: Mapping[str, object]) -> None:
+    for key, value in src.items():
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            dst[key] = dst.get(key, 0) + value
+        elif isinstance(value, Mapping):
+            sub = dst.setdefault(key, {})
+            if isinstance(sub, dict):
+                _merge_numeric(sub, value)
+
+
+def build_report(
+    campaign_meta: Mapping[str, object],
+    run_id: str,
+    outcomes: Mapping[str, dict],
+) -> dict:
+    """Aggregate task *outcomes* into the final report.
+
+    *outcomes* maps task_id to ``{"kind", "status", "payload",
+    "duration", "attempts"}`` in campaign order; cached reuses count as
+    completed (their recorded payload stands in for a fresh execution).
+    """
+    from repro.core.metrics import average_rows
+
+    table1: List[dict] = []
+    table2_rows: List[dict] = []
+    orig_rows: List[dict] = []
+    resyn_rows: List[dict] = []
+    results: Dict[str, object] = {}
+    tasks: Dict[str, dict] = {}
+    engine_totals: Dict[str, object] = {}
+    status = "ok"
+    for task_id, outcome in outcomes.items():
+        task_status = outcome["status"]
+        if task_status == "cached":
+            task_status = "ok"  # a reused result is a completed result
+        tasks[task_id] = {
+            "kind": outcome["kind"],
+            "status": task_status,
+            "duration": outcome.get("duration", 0.0),
+            "attempts": outcome.get("attempts", 1),
+        }
+        if task_status != "ok":
+            status = "failed"
+            continue
+        payload = outcome.get("payload") or {}
+        results[task_id] = payload
+        if outcome["kind"] == "analyze" and "row" in payload:
+            table1.append(payload["row"])
+        if outcome["kind"] == "resynthesize":
+            if "original_row" in payload:
+                table1.append(payload["original_row"])
+            rows = payload.get("rows") or []
+            table2_rows.extend(rows)
+            if len(rows) == 2:
+                orig_rows.append(rows[0])
+                resyn_rows.append(rows[1])
+        for stats_key in ("engine", "stats"):
+            stats = payload.get(stats_key)
+            if isinstance(stats, Mapping):
+                _merge_numeric(engine_totals, stats)
+
+    report: dict = {
+        "run_id": run_id,
+        "status": status,
+        "campaign": dict(campaign_meta),
+        "tasks": tasks,
+        "results": results,
+    }
+    if table1:
+        report["table1"] = table1
+    if table2_rows:
+        averages = []
+        if orig_rows and resyn_rows:
+            avg_orig = average_rows(orig_rows)
+            avg_orig["MaxInc"] = "orig"
+            avg_resyn = average_rows(resyn_rows)
+            avg_resyn["MaxInc"] = "resyn"
+            averages = [avg_orig, avg_resyn]
+        report["table2"] = {"rows": table2_rows, "averages": averages}
+    if engine_totals:
+        report["engine_totals"] = engine_totals
+    return report
+
+
+def write_report(run_dir: str, report: dict) -> str:
+    path = os.path.join(run_dir, "report.json")
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True, default=str)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_report(run_dir: str) -> Optional[dict]:
+    """The run's report — from report.json, else from the journal."""
+    path = os.path.join(run_dir, "report.json")
+    if os.path.exists(path):
+        with open(path) as fh:
+            return json.load(fh)
+    journal_path = os.path.join(run_dir, "journal.jsonl")
+    if os.path.exists(journal_path):
+        from repro.runner.journal import read_journal
+
+        for event in reversed(read_journal(journal_path)):
+            if event.get("event") == "report":
+                return event["report"]
+    return None
+
+
+def render_report(report: Mapping[str, object]) -> str:
+    """Human-readable rendering: tables plus the effort breakdown."""
+    from repro.utils import format_table
+
+    lines: List[str] = [
+        f"run {report.get('run_id')} — status {report.get('status')}"
+    ]
+    table1 = report.get("table1")
+    if table1:
+        header = list(table1[0].keys())
+        lines.append(format_table(
+            header, [list(r.values()) for r in table1],
+            title="TABLE I. CLUSTERED UNDETECTABLE FAULTS",
+        ))
+    table2 = report.get("table2")
+    if table2 and table2.get("rows"):
+        rows = list(table2["rows"]) + list(table2.get("averages", ()))
+        header = list(rows[0].keys())
+        lines.append(format_table(
+            header, [list(r.values()) for r in rows],
+            title="TABLE II. EXPERIMENTAL RESULTS",
+        ))
+    tasks = report.get("tasks") or {}
+    if tasks:
+        rows = [
+            [tid, meta.get("kind"), meta.get("status"),
+             meta.get("attempts"), f"{meta.get('duration', 0.0):.2f}s"]
+            for tid, meta in tasks.items()
+        ]
+        lines.append(format_table(
+            ["task", "kind", "status", "attempts", "wall"], rows,
+            title="TASKS (where the wall-clock went)",
+        ))
+    totals = report.get("engine_totals") or {}
+    if totals:
+        effort = [
+            [key, totals[key]]
+            for key in ("sat_calls", "sat_conflicts", "sat_propagations",
+                        "faults_simulated", "events_propagated",
+                        "verdicts_inherited", "verdicts_proved")
+            if key in totals
+        ]
+        engine = totals.get("engine")
+        if isinstance(engine, Mapping):
+            effort.extend(
+                [f"engine.{key}", engine[key]]
+                for key in ("sat_calls", "sat_conflicts",
+                            "faults_simulated", "events_propagated")
+                if key in engine
+            )
+        if effort:
+            lines.append(format_table(
+                ["counter", "total"], effort,
+                title="ENGINE EFFORT (where the SAT/simulation work went)",
+            ))
+        phases = totals.get("phase_seconds")
+        if isinstance(engine, Mapping) and not phases:
+            phases = engine.get("phase_seconds")
+        if isinstance(phases, Mapping) and phases:
+            lines.append(format_table(
+                ["phase", "seconds"],
+                [[name, f"{secs:.3f}"]
+                 for name, secs in sorted(phases.items())],
+                title="ENGINE PHASES (wall-clock per engine phase)",
+            ))
+    return "\n\n".join(lines)

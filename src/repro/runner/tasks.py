@@ -1,0 +1,289 @@
+"""Built-in task kinds of the experiment orchestrator.
+
+Campaign task kinds (the paper's sweeps):
+
+* ``analyze`` — build one benchmark circuit on a library variant and run
+  the full design-flow analysis (PDesign -> DFM fault extraction ->
+  exact ATPG -> clustering).  Payload: the Table I row, the
+  :class:`~repro.utils.observability.EngineStats` snapshot, and the
+  per-stage wall times.
+* ``resynthesize`` — the full two-phase resynthesis with the q = 0..q_max
+  sweep.  Payload: the two Table II rows, q_used, the iteration count,
+  and the :class:`~repro.utils.observability.ResynthesisStats` snapshot.
+
+Both carry a fingerprint hook hashing the *built circuit structure* and
+the library variant, so a resume re-runs exactly the circuits whose
+generated netlist (or library) changed.
+
+Synthetic task kinds (failure-path tests and CI fault injection):
+
+* ``sum`` — returns ``value`` plus the sum of its deps' values;
+* ``sleep`` — sleeps ``seconds`` and returns;
+* ``hang`` — sleeps a long time (timeout-path testing);
+* ``flaky`` — fails its first ``fail_times`` attempts (state is kept in
+  a counter file inside the run directory, so it spans retries,
+  processes, and resumes);
+* ``kill_self`` — SIGKILLs its own process the first time it runs
+  (subsequent runs see the marker file and succeed).  Inline, this kills
+  the orchestrator mid-task — the crash the journal must survive.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from functools import lru_cache
+from typing import List, Mapping, Tuple
+
+from repro.runner.registry import TaskContext, task
+
+
+# ----------------------------------------------------------------------
+# Campaign tasks
+# ----------------------------------------------------------------------
+
+@lru_cache(maxsize=None)
+def _library_variant(variant: str):
+    """A library variant by name.
+
+    ``full`` is the complete 21-cell library; ``drop<k>`` excludes the k
+    most fault-laden cells (the restricted-library ablation direction);
+    ``exclude:<a>,<b>`` excludes the named cells.
+    """
+    from repro.library import osu018_library
+
+    library = osu018_library()
+    if variant in ("", "full", "osu018"):
+        return library
+    if variant.startswith("drop"):
+        k = int(variant[4:] or "1")
+        order = library.order_by_internal_faults()
+        dropped = {cell.name for cell in order[:k]}
+        keep = [n for n in library.names() if n not in dropped]
+        return library.subset(keep)
+    if variant.startswith("exclude:"):
+        dropped = {n.strip() for n in variant[8:].split(",") if n.strip()}
+        unknown = dropped - set(library.names())
+        if unknown:
+            raise KeyError(f"unknown cells in variant: {sorted(unknown)}")
+        keep = [n for n in library.names() if n not in dropped]
+        return library.subset(keep)
+    raise KeyError(f"unknown library variant {variant!r}")
+
+
+@lru_cache(maxsize=None)
+def _built_circuit(name: str, scale: int, variant: str):
+    """Benchmark netlist mapped on a library variant (process-cached)."""
+    from repro.bench import build_benchmark
+
+    return build_benchmark(name, _library_variant(variant), scale=scale)
+
+
+def _circuit_params(params: Mapping[str, object]) -> Tuple[str, int, str]:
+    return (
+        str(params["circuit"]),
+        int(params.get("scale", 1)),
+        str(params.get("variant", "full")),
+    )
+
+
+def _circuit_fingerprint(params: Mapping[str, object]) -> object:
+    """Structural hash of the built circuit + the variant's cell list."""
+    from repro.runner.model import structural_circuit_hash
+
+    name, scale, variant = _circuit_params(params)
+    library = _library_variant(variant)
+    return {
+        "circuit": structural_circuit_hash(
+            _built_circuit(name, scale, variant)
+        ),
+        "library": library.names(),
+    }
+
+
+@task("analyze", fingerprint=_circuit_fingerprint)
+def analyze_task(params: Mapping[str, object], ctx: TaskContext) -> dict:
+    from repro.core import analyze_design, table1_row
+
+    name, scale, variant = _circuit_params(params)
+    library = _library_variant(variant)
+    circuit = _built_circuit(name, scale, variant)
+    state = analyze_design(
+        circuit, library,
+        seed=int(params.get("seed", 0)),
+        utilization=float(params.get("utilization", 0.70)),
+        atpg_seed=int(params.get("seed", 0)),
+        workers=int(params.get("workers", 1)),
+    )
+    if ctx.store is not None:
+        ctx.store[f"analysis:{variant}:{name}"] = state
+    return {
+        "circuit": name,
+        "variant": variant,
+        "row": table1_row(name, state),
+        "engine": state.stats.as_dict(),
+        "timings": dict(state.timings),
+    }
+
+
+@task("resynthesize", fingerprint=_circuit_fingerprint)
+def resynthesize_task(params: Mapping[str, object], ctx: TaskContext) -> dict:
+    from repro.core import (
+        ResynthesisConfig,
+        resynthesize_for_coverage,
+        table1_row,
+        table2_row,
+    )
+
+    name, scale, variant = _circuit_params(params)
+    library = _library_variant(variant)
+    circuit = _built_circuit(name, scale, variant)
+    config = ResynthesisConfig(
+        q_max=int(params.get("q_max", 5)),
+        max_iterations_per_phase=int(
+            params.get("max_iterations_per_phase", 25)
+        ),
+        seed=int(params.get("seed", 0)),
+        utilization=float(params.get("utilization", 0.70)),
+        workers=int(params.get("workers", 1)),
+    )
+    result = resynthesize_for_coverage(circuit, library, config)
+    if ctx.store is not None:
+        ctx.store[f"resynthesis:{variant}:{name}"] = result
+        ctx.store.setdefault(f"analysis:{variant}:{name}", result.original)
+    return {
+        "circuit": name,
+        "variant": variant,
+        "rows": table2_row(name, result),
+        "original_row": table1_row(name, result.original),
+        "q_used": result.q_used,
+        "iterations": len(result.history),
+        "stats": result.stats.as_dict(),
+        "runtime": result.runtime,
+        "baseline_runtime": result.baseline_runtime,
+    }
+
+
+# ----------------------------------------------------------------------
+# Synthetic tasks (failure-path tests, CI fault injection)
+# ----------------------------------------------------------------------
+
+@task("sum")
+def sum_task(params: Mapping[str, object], ctx: TaskContext) -> dict:
+    total = int(params.get("value", 0))
+    for payload in ctx.deps.values():
+        total += int(payload.get("value", 0))
+    return {"value": total}
+
+
+@task("sleep")
+def sleep_task(params: Mapping[str, object], ctx: TaskContext) -> dict:
+    seconds = float(params.get("seconds", 0.0))
+    time.sleep(seconds)
+    return {"slept": seconds}
+
+
+@task("hang")
+def hang_task(params: Mapping[str, object], ctx: TaskContext) -> dict:
+    time.sleep(float(params.get("seconds", 3600.0)))
+    return {"hung": False}
+
+
+@task("flaky")
+def flaky_task(params: Mapping[str, object], ctx: TaskContext) -> dict:
+    fail_times = int(params.get("fail_times", 1))
+    counter = os.path.join(ctx.run_dir, f"flaky-{ctx.task_id}.count")
+    failures = 0
+    if os.path.exists(counter):
+        with open(counter) as fh:
+            failures = int(fh.read().strip() or "0")
+    if failures < fail_times:
+        with open(counter, "w") as fh:
+            fh.write(str(failures + 1))
+        raise RuntimeError(
+            f"flaky failure {failures + 1}/{fail_times}"
+        )
+    return {"value": int(params.get("value", 0)), "failures": failures}
+
+
+@task("kill_self")
+def kill_self_task(params: Mapping[str, object], ctx: TaskContext) -> dict:
+    marker = os.path.join(ctx.run_dir, f"killed-{ctx.task_id}.marker")
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("armed\n")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return {"value": int(params.get("value", 0)), "survived": True}
+
+
+# ----------------------------------------------------------------------
+# Campaign builders
+# ----------------------------------------------------------------------
+
+def paper_campaign(
+    circuits: List[str],
+    run_id: str,
+    *,
+    tables: Tuple[int, ...] = (1, 2),
+    q_max: int = 3,
+    max_iterations_per_phase: int = 6,
+    scale: int = 1,
+    seed: int = 0,
+    workers: int = 1,
+    variants: Tuple[str, ...] = ("full",),
+    isolation: str = "inline",
+    timeout: float = None,
+    retries: int = 0,
+    backoff: float = 1.0,
+):
+    """The paper's sweep as a campaign DAG.
+
+    Table 1 adds one ``analyze`` task per (variant, circuit); Table 2
+    adds one ``resynthesize`` task per (variant, circuit) — each task is
+    independent, so a crash loses at most one circuit's work.
+    """
+    from repro.runner.model import CampaignSpec, TaskSpec
+
+    specs: List[TaskSpec] = []
+    policy = dict(
+        isolation=isolation, timeout=timeout, retries=retries,
+        backoff=backoff,
+    )
+    for variant in variants:
+        for name in circuits:
+            base = {"circuit": name, "scale": scale, "seed": seed,
+                    "workers": workers, "variant": variant}
+            if 1 in tables and 2 not in tables:
+                specs.append(TaskSpec(
+                    task_id=f"analyze:{variant}:{name}", kind="analyze",
+                    params=base, **policy,
+                ))
+            if 2 in tables:
+                # The resynthesize payload carries the original design's
+                # Table I row too, so one task serves both tables.
+                specs.append(TaskSpec(
+                    task_id=f"resynthesize:{variant}:{name}",
+                    kind="resynthesize",
+                    params={
+                        **base,
+                        "q_max": q_max,
+                        "max_iterations_per_phase": max_iterations_per_phase,
+                    },
+                    **policy,
+                ))
+    return CampaignSpec(
+        run_id=run_id,
+        tasks=specs,
+        meta={
+            "kind": "paper-sweep",
+            "circuits": list(circuits),
+            "tables": sorted(tables),
+            "q_max": q_max,
+            "max_iterations_per_phase": max_iterations_per_phase,
+            "scale": scale,
+            "seed": seed,
+            "workers": workers,
+            "variants": list(variants),
+        },
+    )

@@ -15,10 +15,20 @@ must not import any of them.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator
+
+# All duration measurements in the engine go through time.perf_counter():
+# it is monotonic (wall clock adjustments cannot produce negative phase
+# durations in merged stats) and has the highest available resolution.
+
+# Guards EngineStats.merge: worker paths accumulate into private per-chunk
+# instances and fold them into the caller's shared instance in one atomic
+# step, so counters are never lost when merges race.
+_MERGE_LOCK = threading.Lock()
 
 
 @dataclass
@@ -80,14 +90,18 @@ class EngineStats:
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
         """Accumulate the wall time of a ``with`` block under *name*."""
-        start = time.monotonic()
+        start = time.perf_counter()
         try:
             yield
         finally:
-            self.add_phase(name, time.monotonic() - start)
+            self.add_phase(name, time.perf_counter() - start)
 
     def merge(self, other: "EngineStats") -> None:
-        """Fold *other*'s counters into this instance."""
+        """Fold *other*'s counters into this instance (atomically)."""
+        with _MERGE_LOCK:
+            self._merge_unlocked(other)
+
+    def _merge_unlocked(self, other: "EngineStats") -> None:
         self.faults_simulated += other.faults_simulated
         self.events_propagated += other.events_propagated
         self.good_simulations += other.good_simulations

@@ -195,3 +195,20 @@ class TestCompaction:
 
     def test_empty_tests(self, adder4, cells):
         assert compact_tests(adder4, cells, [], []) == []
+
+
+class TestEmptyFaultSet:
+    """Regression: coverage of an empty fault universe is 1.0, not a
+    ZeroDivisionError (a fully-guarded subcircuit can have no faults)."""
+
+    def test_result_coverage_with_zero_faults(self):
+        from repro.atpg.engine import AtpgResult
+
+        assert AtpgResult(n_faults=0).coverage == 1.0
+
+    def test_run_atpg_with_no_faults(self, adder4, cells):
+        result = run_atpg(adder4, cells, [])
+        assert result.n_faults == 0
+        assert result.coverage == 1.0
+        assert result.detected == set()
+        assert result.undetectable == set()

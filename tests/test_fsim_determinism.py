@@ -80,3 +80,42 @@ def test_run_atpg_workers_byte_identical(adder4, cells, library):
     assert parallel.coverage == serial.coverage
     assert parallel.sat_calls == serial.sat_calls
     assert serial.detected  # non-degenerate run
+
+
+def test_all_stats_counters_identical_serial_vs_parallel(cells, library):
+    """Worker count must not change any effort counter.
+
+    Per-chunk counters are accumulated in worker-local views and merged
+    once at join, so workers=4 reports exactly the counters workers=1
+    does.  Excluded by design: ``parallel_chunks`` (counts the chunks
+    themselves) and the eval-cache temperature split (the compiled-eval
+    lru_cache is process-wide, so hits vs. misses depend on what ran
+    earlier — their *sum* must still match), plus wall-clock phases.
+    """
+    def run(workers):
+        # Fresh circuit object per run: both runs start with a cold
+        # compiled plan and a cold good-value cache.
+        circuit = random_mapped_circuit(cells, seed=55)
+        faults = mixed_fault_list(circuit, library=library, seed=5)
+        batch = PatternBatch.random(circuit, 48, seed=5)
+        stats = EngineStats()
+        out = fault_simulate(
+            circuit, cells, faults, batch, workers=workers, stats=stats)
+        return out, stats.as_dict()
+
+    out1, serial = run(1)
+    out4, parallel = run(4)
+    assert out4 == out1
+    assert parallel["parallel_chunks"] > 1
+    volatile = {
+        "parallel_chunks", "phase_seconds",
+        "eval_cache_hits", "eval_cache_misses",
+    }
+    assert (
+        serial["eval_cache_hits"] + serial["eval_cache_misses"]
+        == parallel["eval_cache_hits"] + parallel["eval_cache_misses"]
+    )
+    for key in serial:
+        if key in volatile:
+            continue
+        assert parallel[key] == serial[key], key

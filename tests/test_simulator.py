@@ -91,3 +91,60 @@ class TestSimulate:
 
     def test_empty_pattern_list(self, adder4, cells):
         assert simulate_patterns(adder4, cells, []) == []
+
+
+class TestGoodCacheThreadSafety:
+    """The per-plan good-value LRU is shared by speculation threads."""
+
+    def test_concurrent_good_values(self, adder4, cells):
+        import threading
+
+        from repro.netlist.simulator import CompiledCircuit
+
+        plan = CompiledCircuit.get(adder4, cells)
+        rng = random.Random(11)
+        mask = (1 << 32) - 1
+        # More distinct keys than the cache holds, so the threads race
+        # lookups, inserts, recency updates, and evictions against each
+        # other.
+        n_keys = plan.GOOD_CACHE_SIZE * 2
+        frames_by_key = {
+            ("k", i): [
+                {pi: rng.getrandbits(32) for pi in adder4.inputs}
+                for _ in range(2)
+            ]
+            for i in range(n_keys)
+        }
+        expected = {
+            key: tuple(plan.simulate_values(f, mask) for f in frames)
+            for key, frames in frames_by_key.items()
+        }
+        plan.good_cache.clear()
+        errors = []
+
+        def hammer(seed):
+            local = random.Random(seed)
+            keys = list(frames_by_key)
+            for _ in range(200):
+                key = keys[local.randrange(n_keys)]
+                try:
+                    got = plan.good_values(key, frames_by_key[key], mask)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+                    return
+                if got != expected[key]:
+                    errors.append((key, got))
+                    return
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(plan.good_cache) <= plan.GOOD_CACHE_SIZE
+        # Cached entries still hold correct vectors after the storm.
+        for key, cached in plan.good_cache.items():
+            assert cached == expected[key]
