@@ -8,7 +8,14 @@ usual industrial flow — random-pattern fault simulation first, then
 deterministic SAT per remaining fault class, with test set compaction.
 """
 
-from repro.atpg.sat import Solver, SAT, UNSAT
+from repro.atpg.sat import Solver, SAT, UNSAT, UNKNOWN
+from repro.atpg.budget import (
+    ABORTED,
+    DETECTED,
+    UNDETECTABLE,
+    AtpgBudget,
+    verdict_name,
+)
 from repro.atpg.cnf import DetectionEncoder
 from repro.atpg.engine import AtpgResult, run_atpg
 from repro.atpg.compaction import compact_tests
@@ -17,6 +24,12 @@ __all__ = [
     "Solver",
     "SAT",
     "UNSAT",
+    "UNKNOWN",
+    "ABORTED",
+    "DETECTED",
+    "UNDETECTABLE",
+    "AtpgBudget",
+    "verdict_name",
     "DetectionEncoder",
     "AtpgResult",
     "run_atpg",

@@ -1,0 +1,102 @@
+"""Resource governance for the exact ATPG kernel.
+
+:class:`AtpgBudget` bundles the per-fault resource limits of a SAT
+decision — a wall-clock deadline plus conflict/decision budgets — and
+the global *abort fraction* beyond which a run is downgraded to
+explicitly-flagged approximate mode.  The default budget is unlimited,
+in which case every code path is bit-identical to the ungoverned
+engine; limits are opt-in, per call or through the environment:
+
+* ``REPRO_ATPG_DEADLINE_MS`` — per-fault wall-clock deadline;
+* ``REPRO_ATPG_CONFLICT_BUDGET`` — per-fault solver conflict budget;
+* ``REPRO_ATPG_DECISION_BUDGET`` — per-fault solver decision budget;
+* ``REPRO_ATPG_ABORT_FRACTION`` — tolerated fraction of aborted faults
+  before the run is flagged approximate (default 0.05).
+
+A budgeted decision has three outcomes instead of two — the verdict
+constants :data:`DETECTED` / :data:`UNDETECTABLE` / :data:`ABORTED`
+name them.  An aborted fault is *unclassified*: it is never counted as
+undetectable (the paper's acceptance criterion), never dropped from F,
+and is reported separately (see :class:`repro.atpg.engine.AtpgResult`).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+DETECTED = "detected"
+UNDETECTABLE = "undetectable"
+ABORTED = "aborted"
+
+#: Default tolerated fraction of aborted faults before a run is flagged
+#: approximate (see :attr:`AtpgBudget.abort_fraction`).
+DEFAULT_ABORT_FRACTION = 0.05
+
+
+def verdict_name(flag: Optional[bool]) -> str:
+    """Map a three-valued solve result to its verdict constant.
+
+    ``True`` (SAT: a test exists) -> :data:`DETECTED`; ``False`` (UNSAT:
+    proved undetectable) -> :data:`UNDETECTABLE`; ``None`` (resource
+    budget exhausted before a proof) -> :data:`ABORTED`.
+    """
+    if flag is True:
+        return DETECTED
+    if flag is False:
+        return UNDETECTABLE
+    return ABORTED
+
+
+@dataclass(frozen=True)
+class AtpgBudget:
+    """Per-fault resource limits plus the global abort tolerance.
+
+    All three per-fault limits default to None (unlimited): an
+    unlimited budget never changes a verdict, a counter, or a test
+    pattern relative to the ungoverned engine.
+    """
+
+    deadline_ms: Optional[float] = None
+    conflict_budget: Optional[int] = None
+    decision_budget: Optional[int] = None
+    abort_fraction: float = DEFAULT_ABORT_FRACTION
+
+    @property
+    def unlimited(self) -> bool:
+        """True iff no per-fault limit is set (the exact default path)."""
+        return (
+            self.deadline_ms is None
+            and self.conflict_budget is None
+            and self.decision_budget is None
+        )
+
+    @classmethod
+    def from_env(
+        cls, environ: Optional[Mapping[str, str]] = None
+    ) -> "AtpgBudget":
+        """Budget from ``REPRO_ATPG_*`` variables (unlimited when unset)."""
+        env = os.environ if environ is None else environ
+
+        def _float(name: str) -> Optional[float]:
+            raw = env.get(name, "").strip()
+            return float(raw) if raw else None
+
+        def _int(name: str) -> Optional[int]:
+            raw = env.get(name, "").strip()
+            return int(raw) if raw else None
+
+        fraction = _float("REPRO_ATPG_ABORT_FRACTION")
+        return cls(
+            deadline_ms=_float("REPRO_ATPG_DEADLINE_MS"),
+            conflict_budget=_int("REPRO_ATPG_CONFLICT_BUDGET"),
+            decision_budget=_int("REPRO_ATPG_DECISION_BUDGET"),
+            abort_fraction=(
+                DEFAULT_ABORT_FRACTION if fraction is None else fraction
+            ),
+        )
+
+
+#: The default, exact budget: no per-fault limits.
+UNLIMITED = AtpgBudget()

@@ -1,10 +1,21 @@
 """The ATPG driver: random phase, deterministic SAT phase, compaction.
 
-``run_atpg`` classifies every fault of the target set as *detected* or
-*undetectable* (exactly — there is no abort bucket: the SAT solver runs
-to completion on each class representative) and produces a compacted
-test set.  This provides the paper's quantities: T (tests), U
-(undetectable faults) and Cov = 1 - U/F.
+``run_atpg`` classifies every fault of the target set as *detected*,
+*undetectable*, or — only under an explicit resource budget —
+*aborted*, and produces a compacted test set.  With the default
+unlimited :class:`~repro.atpg.budget.AtpgBudget` the SAT solver runs to
+completion on each class representative, the abort bucket stays empty,
+and every result is bit-identical to the ungoverned engine.  This
+provides the paper's quantities: T (tests), U (undetectable faults) and
+Cov = 1 - U/F.
+
+Aborted faults are handled conservatively throughout: they are never
+counted as undetectable (an abort is not a proof), never dropped from F
+(detected + undetectable + aborted always partitions the fault set),
+and they surface separately on :class:`AtpgResult` and in the engine's
+degradation records.  When the aborted fraction exceeds the budget's
+global tolerance the run is downgraded to explicitly-flagged
+approximate mode (``result.approximate``) instead of failing.
 """
 
 from __future__ import annotations
@@ -22,6 +33,7 @@ from typing import (
     Tuple,
 )
 
+from repro.atpg.budget import ABORTED, DETECTED, UNDETECTABLE, AtpgBudget
 from repro.atpg.compaction import TestPair, compact_tests
 from repro.atpg.incremental import IncrementalAtpg
 from repro.faults.collapse import behaviour_key, collapse_faults
@@ -40,6 +52,13 @@ class AtpgResult:
     n_faults: int
     detected: Set[str] = field(default_factory=set)  # fault ids
     undetectable: Set[str] = field(default_factory=set)
+    # Faults whose SAT decision ran out of its resource budget: neither
+    # detected nor proved undetectable.  Empty unless a budget was set.
+    aborted: Set[str] = field(default_factory=set)
+    # True when the aborted fraction exceeded the budget's global
+    # tolerance: the run completed, but its U/Cov numbers are bounds,
+    # not exact values.
+    approximate: bool = False
     tests: List[TestPair] = field(default_factory=list)
     runtime: float = 0.0
     sat_calls: int = 0
@@ -47,10 +66,37 @@ class AtpgResult:
 
     @property
     def coverage(self) -> float:
-        """Cov = 1 - U/F (the paper's definition)."""
+        """Cov = 1 - U/F (the paper's definition).
+
+        With a nonempty abort bucket this is an *upper* bound on the
+        true coverage (aborted faults might still be undetectable); see
+        :attr:`coverage_lower_bound` for the other side.
+        """
         if self.n_faults == 0:
             return 1.0
         return 1.0 - len(self.undetectable) / self.n_faults
+
+    @property
+    def coverage_lower_bound(self) -> float:
+        """Coverage if every aborted fault turned out undetectable."""
+        if self.n_faults == 0:
+            return 1.0
+        pessimistic = len(self.undetectable) + len(self.aborted)
+        return 1.0 - pessimistic / self.n_faults
+
+    @property
+    def n_aborted(self) -> int:
+        return len(self.aborted)
+
+    def verdict_of(self, fault_id: str) -> Optional[str]:
+        """Three-valued verdict of one fault id (None if unknown id)."""
+        if fault_id in self.detected:
+            return DETECTED
+        if fault_id in self.undetectable:
+            return UNDETECTABLE
+        if fault_id in self.aborted:
+            return ABORTED
+        return None
 
     def is_undetectable(self, fault: Fault) -> bool:
         return fault.fault_id in self.undetectable
@@ -69,8 +115,14 @@ def run_atpg(
     assume_detected: Optional[AbstractSet] = None,
     workers: int = 1,
     stats: Optional[EngineStats] = None,
+    budget: Optional[AtpgBudget] = None,
 ) -> AtpgResult:
     """Classify *faults* on *circuit* and build a test set.
+
+    *budget* (default: from the ``REPRO_ATPG_*`` environment, which is
+    unlimited when unset) bounds each deterministic SAT decision; faults
+    whose decision runs out land in ``result.aborted`` with the
+    conservative semantics described in the module docstring.
 
     Strategy: seeded random pattern pairs with bit-parallel fault
     simulation drop the easy faults; each remaining behaviour class gets
@@ -98,6 +150,8 @@ def run_atpg(
     accumulate into a caller-owned instance instead).
     """
     start = time.perf_counter()
+    if budget is None:
+        budget = AtpgBudget.from_env()
     result = AtpgResult(n_faults=len(faults))
     if stats is not None:
         result.stats = stats
@@ -189,6 +243,7 @@ def run_atpg(
         key=lambda f: (engine._site_net(f) or "", f.fault_id)
     )
     pending_drop: List[TestPair] = []
+    aborted_reps: Set[str] = set()
     i = 0
     while i < len(remaining):
         fault = remaining[i]
@@ -196,13 +251,18 @@ def run_atpg(
         if fault.fault_id in detected_reps:
             continue
         result.sat_calls += 1
-        detectable, pair = engine.decide(fault)
+        detectable, pair = engine.decide(fault, budget)
         if detectable:
             tests.append(pair)
             pending_drop.append(pair)
             detected_reps.add(fault.fault_id)
-        else:
+        elif detectable is False:
             result.undetectable.add(fault.fault_id)
+        else:
+            # Budget ran out before a proof: unclassified, not
+            # undetectable.  Later fresh tests may still detect it.
+            aborted_reps.add(fault.fault_id)
+            stats.sat_aborts += 1
         # Periodically fault-simulate the fresh tests to drop classes
         # before paying for their SAT calls.
         if len(pending_drop) >= 16 or (i == len(remaining) and pending_drop):
@@ -210,6 +270,13 @@ def run_atpg(
                 f for f in remaining[i:]
                 if f.fault_id not in detected_reps
             ]
+            if aborted_reps:
+                # Aborted classes sit behind the scan index; fresh tests
+                # can still upgrade them to detected (never the reverse).
+                todo.extend(
+                    f for f in remaining[:i]
+                    if f.fault_id in aborted_reps
+                )
             if todo:
                 batch = PatternBatch.from_pairs(circuit, pending_drop)
                 words = fault_simulate(
@@ -219,6 +286,7 @@ def run_atpg(
                 for f, w in zip(todo, words):
                     if w:
                         detected_reps.add(f.fault_id)
+                        aborted_reps.discard(f.fault_id)
             pending_drop = []
     stats.sat_calls = result.sat_calls
     stats.sat_conflicts, stats.sat_propagations = engine.solver_effort()
@@ -226,17 +294,40 @@ def run_atpg(
 
     # ---- expand classes to all member faults ----------------------------
     undetectable_reps = {
-        f.fault_id for f in reps if f.fault_id not in detected_reps
+        f.fault_id for f in reps
+        if f.fault_id not in detected_reps
+        and f.fault_id not in aborted_reps
     }
     undetectable_reps |= inherited_undet
     for rep, members in classes.items():
-        bucket = (
-            result.undetectable
-            if rep.fault_id in undetectable_reps
-            else result.detected
-        )
+        if rep.fault_id in aborted_reps:
+            bucket = result.aborted
+        elif rep.fault_id in undetectable_reps:
+            bucket = result.undetectable
+        else:
+            bucket = result.detected
         for member in members:
             bucket.add(member.fault_id)
+
+    if aborted_reps:
+        # Aborted representatives were counted as to-prove above but no
+        # proof happened; keep the proved counter honest.
+        stats.verdicts_proved -= len(aborted_reps)
+        stats.verdicts_aborted += len(aborted_reps)
+        n_aborted = len(result.aborted)
+        result.approximate = (
+            n_aborted > budget.abort_fraction * result.n_faults
+        )
+        message = (
+            f"atpg[{circuit.name}]: {n_aborted}/{result.n_faults} faults "
+            f"aborted under the resource budget"
+        )
+        if result.approximate:
+            message += (
+                f"; abort tolerance {budget.abort_fraction:.2%} exceeded —"
+                " results are approximate (U is a lower bound)"
+            )
+        stats.degradations.append(message)
 
     # ---- compaction ------------------------------------------------------
     if compaction and tests:

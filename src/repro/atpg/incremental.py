@@ -26,10 +26,13 @@ standalone encoder (both are exact); the test suite cross-checks them.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.atpg.budget import AtpgBudget
 from repro.atpg.cnf import _gate_clauses
-from repro.atpg.sat import Solver
+from repro.atpg.sat import Solver, UNKNOWN
+from repro.utils import seams
 from repro.faults.model import (
     BridgingFault,
     CellAwareFault,
@@ -217,8 +220,19 @@ class IncrementalAtpg:
     # ------------------------------------------------------------------
     # Per-fault decision
     # ------------------------------------------------------------------
-    def decide(self, fault: Fault) -> Tuple[bool, Optional[TestPair]]:
-        """Exact detection decision; returns (detectable, test pair)."""
+    def decide(
+        self, fault: Fault, budget: Optional[AtpgBudget] = None
+    ) -> Tuple[Optional[bool], Optional[TestPair]]:
+        """Detection decision; returns (detectable, test pair).
+
+        *detectable* is three-valued: True (a test exists, returned as
+        the pair), False (proved undetectable), or None — the per-fault
+        resource *budget* ran out (or a chaos seam forced an abort)
+        before a proof.  With no budget the decision is exact and the
+        answer is the classic boolean.  An aborted fault's clauses are
+        retired exactly like a decided one's, so the shared solver stays
+        sound and compact either way.
+        """
         # Shared structures (frame 1, site cone) must exist before the
         # watermarks so the post-decision cleanup never touches them.
         if self._needs_frame1(fault):
@@ -237,10 +251,24 @@ class IncrementalAtpg:
         clause_mark = len(solver.clauses)
         act = solver.new_var()
         built = self._build_fault(fault, act)
-        result = False
+        result: Optional[bool] = False
         test: Optional[TestPair] = None
         if built:
-            result = solver.solve([act])
+            if seams.active and seams.fire("atpg.decide", fault=fault) == "abort":
+                result = UNKNOWN
+            elif budget is None or budget.unlimited:
+                result = solver.solve([act])
+            else:
+                deadline = (
+                    time.perf_counter() + budget.deadline_ms / 1000.0
+                    if budget.deadline_ms is not None else None
+                )
+                result = solver.solve(
+                    [act],
+                    conflict_budget=budget.conflict_budget,
+                    decision_budget=budget.decision_budget,
+                    deadline=deadline,
+                )
             if result:
                 v2 = {
                     pi: solver.value_of(self.var(pi, "g")) or 0

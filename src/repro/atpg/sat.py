@@ -15,10 +15,15 @@ unsigned as ``2*v`` / ``2*v + 1`` so the hot paths avoid sign handling.
 from __future__ import annotations
 
 import heapq
+import time
 from typing import List, Optional, Sequence
 
 SAT = True
 UNSAT = False
+#: Three-valued solve outcome: a resource budget (conflicts, decisions
+#: or deadline) ran out before a proof either way.  Distinct from UNSAT
+#: on purpose — an UNKNOWN answer must never be counted as a proof.
+UNKNOWN = None
 
 _UNDEF = 2  # value code for unassigned (0 = false, 1 = true)
 
@@ -113,8 +118,25 @@ class Solver:
     # ------------------------------------------------------------------
     # Solving
     # ------------------------------------------------------------------
-    def solve(self, assumptions: Sequence[int] = ()) -> bool:
-        """Decide satisfiability; fills :attr:`model` on SAT."""
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        *,
+        conflict_budget: Optional[int] = None,
+        decision_budget: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> Optional[bool]:
+        """Decide satisfiability; fills :attr:`model` on SAT.
+
+        The keyword-only limits bound this call's effort: *conflict_budget*
+        and *decision_budget* cap the conflicts/decisions spent here,
+        *deadline* is an absolute :func:`time.perf_counter` timestamp.
+        When any limit is exhausted before a proof, the solver backtracks
+        to level 0 and returns :data:`UNKNOWN` (None) — learned clauses
+        are kept (they are sound regardless), and the solver remains
+        usable for further solves.  With no limits set (the default) the
+        return value is exactly the classic two-valued answer.
+        """
         if not self._ok:
             return UNSAT
         self._backtrack(0)
@@ -124,11 +146,28 @@ class Solver:
         enc_assumps = [_enc(a) for a in assumptions]
         restart_limit = 100
         conflicts_here = 0
+        limited = (
+            conflict_budget is not None
+            or decision_budget is not None
+            or deadline is not None
+        )
+        spent_conflicts = 0
+        spent_decisions = 0
         while True:
             conflict = self._propagate()
             if conflict is not None:
                 self.conflicts += 1
                 conflicts_here += 1
+                if limited:
+                    spent_conflicts += 1
+                    if (
+                        (conflict_budget is not None
+                         and spent_conflicts > conflict_budget)
+                        or (deadline is not None
+                            and time.perf_counter() > deadline)
+                    ):
+                        self._backtrack(0)
+                        return UNKNOWN
                 if len(self._trail_lim) <= len(enc_assumps):
                     self._backtrack(0)
                     if not enc_assumps:
@@ -168,6 +207,16 @@ class Solver:
                 self._model_map = {abs(l): int(l > 0) for l in self.model}
                 self._backtrack(0)
                 return SAT
+            if limited:
+                spent_decisions += 1
+                if (
+                    (decision_budget is not None
+                     and spent_decisions > decision_budget)
+                    or (deadline is not None
+                        and time.perf_counter() > deadline)
+                ):
+                    self._backtrack(0)
+                    return UNKNOWN
             self._trail_lim.append(len(self._trail))
             self._enqueue(lit, None)
 

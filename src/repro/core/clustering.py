@@ -152,6 +152,11 @@ def cluster_undetectable_incremental(
     over verbatim; only the remaining faults go through the union-find.
     The result is identical to :func:`cluster_undetectable`.
     """
+    if not undetectable:
+        # Nothing undetectable (e.g. every fault of the new state was
+        # detected or aborted): the partition is empty, regardless of
+        # what the previous report held — skip the dirty-zone walk.
+        return ClusterReport(clusters=[], fault_gates={})
     by_id = {f.fault_id: f for f in undetectable}
 
     # Gate-level dirt: added gates + gates whose neighbourhood changed

@@ -18,6 +18,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.atpg.budget import AtpgBudget
 from repro.atpg.compaction import TestPair
 from repro.atpg.engine import AtpgResult, run_atpg
 from repro.core.clustering import (
@@ -34,6 +35,7 @@ from repro.netlist.circuit import Circuit
 from repro.physical.floorplan import Floorplan
 from repro.physical.pdesign import PhysicalDesign, pdesign
 from repro.physical.placement import PlacementError
+from repro.utils import seams
 from repro.utils.observability import EngineStats
 
 
@@ -80,6 +82,27 @@ class DesignState:
     @property
     def u_external(self) -> int:
         return self.u_total - self.u_internal
+
+    @property
+    def n_aborted(self) -> int:
+        """Faults whose SAT decision ran out of its resource budget."""
+        return len(self.atpg.aborted)
+
+    @property
+    def u_upper(self) -> int:
+        """Upper bound on U: proved undetectable plus unclassified.
+
+        The conservative quantity acceptance decisions compare against —
+        an aborted fault might still be undetectable, so a candidate
+        only improves on a reference when even its *pessimistic* U does.
+        Equal to :attr:`u_total` when nothing aborted.
+        """
+        return self.u_total + self.n_aborted
+
+    @property
+    def degraded(self) -> bool:
+        """True when this analysis carries any abort/approximation."""
+        return bool(self.atpg.aborted) or self.atpg.approximate
 
     @property
     def coverage(self) -> float:
@@ -157,8 +180,15 @@ def analyze_design(
     prev: Optional[DesignState] = None,
     internal_atpg: Optional[AtpgResult] = None,
     stats: Optional[EngineStats] = None,
+    budget: Optional[AtpgBudget] = None,
 ) -> DesignState:
     """Run physical design + DFM fault extraction + ATPG + clustering.
+
+    *budget* bounds each per-fault SAT decision (default: from the
+    ``REPRO_ATPG_*`` environment; unlimited when unset).  Aborted faults
+    surface on ``state.atpg.aborted`` / ``state.n_aborted`` and are
+    excluded from U and from the clusters — clustering only partitions
+    *proved* undetectable faults, so S_max never grows from a give-up.
 
     *initial_tests*, *assume_undetectable* and *assume_detected*
     (behaviour keys from a previous functionally-equivalent design
@@ -218,6 +248,12 @@ def analyze_design(
         stats=stats,
     )
     timings["fault_extraction"] = time.perf_counter() - t0
+    if seams.active:
+        # Chaos seam: a harness may raise here to model a crash in the
+        # middle of an analysis; the exception propagates to the caller
+        # (and, under the runner, into an explicit task failure) — a
+        # half-analyzed state is never returned.
+        seams.fire("flow.analyze", circuit=circuit)
 
     if internal_atpg is not None:
         from repro.faults.collapse import behaviour_key
@@ -239,6 +275,7 @@ def analyze_design(
         assume_detected=assume_det,
         workers=workers,
         stats=stats,
+        budget=budget,
     )
     timings["atpg"] = time.perf_counter() - t0
     t0 = time.perf_counter()
@@ -272,6 +309,7 @@ def classify_internal(
     assume_detected: Optional[set] = None,
     workers: int = 1,
     stats: Optional[EngineStats] = None,
+    budget: Optional[AtpgBudget] = None,
 ) -> AtpgResult:
     """Classify the internal faults of the bare netlist (no compaction).
 
@@ -290,6 +328,7 @@ def classify_internal(
         assume_detected=assume_detected,
         workers=workers,
         stats=stats,
+        budget=budget,
     )
 
 

@@ -30,6 +30,7 @@ def engine_row(name: str, state: DesignState) -> Dict[str, object]:
         "SatCalls": stats.sat_calls,
         "SatConflicts": stats.sat_conflicts,
         "SatProps": stats.sat_propagations,
+        "SatAborts": stats.sat_aborts,
     }
     for phase, seconds in sorted(stats.phase_seconds.items()):
         row[f"t[{phase}]"] = seconds
@@ -52,6 +53,10 @@ def table1_row(name: str, state: DesignState) -> Dict[str, object]:
         "F_Ex": f_ex,
         "U_In": u_in,
         "U_Ex": u_ex,
+        # Aborted faults are reported separately — they are neither in
+        # U_In/U_Ex (an abort is not an undetectability proof) nor
+        # silently dropped from F.  Zero under the default exact budget.
+        "Aborted": state.n_aborted,
         "G_U": len(state.clusters.gates_u),
         "Gmax": len(state.clusters.gmax),
         "Smax": smax,
@@ -68,6 +73,7 @@ def _state_row(name: str, label: str, state: DesignState,
         "MaxInc": label,
         "F": state.n_faults,
         "U": state.u_total,
+        "Aborted": state.n_aborted,
         "Cov": 100.0 * state.coverage,
         "T": len(state.tests),
         "Smax": smax,
@@ -96,8 +102,12 @@ def average_rows(rows: List[Dict[str, object]], name: str = "average") -> Dict[s
     for key in rows[0]:
         if key == "Circuit":
             continue
-        values = [r[key] for r in rows]
-        if all(isinstance(v, (int, float)) for v in values):
+        # Rows journaled by older code revisions may lack newer columns;
+        # average over the rows that have the value.
+        values = [r[key] for r in rows if key in r]
+        if not values:
+            out[key] = "-"
+        elif all(isinstance(v, (int, float)) for v in values):
             out[key] = sum(values) / len(values)
         else:
             out[key] = values[0] if len(set(map(str, values))) == 1 else "-"

@@ -204,7 +204,14 @@ class _Evaluation:
             return self.kind
 
     def u_in_new(self) -> int:
-        """Stage 2: undetectable internal faults of the bare candidate."""
+        """Stage 2: undetectable internal faults of the bare candidate.
+
+        Returns the conservative *upper bound* — proved undetectable
+        plus aborted internal faults — so that under a resource budget
+        an unclassified fault can never help a candidate pass the
+        Section III-B gate.  Identical to the exact count when nothing
+        aborted (the default unlimited budget).
+        """
         if self.internal_atpg is None:
             driver, state = self.driver, self.state
             undet, det = driver.behaviour_keys(state)
@@ -216,7 +223,10 @@ class _Evaluation:
                 workers=driver.cfg.workers,
                 stats=driver.stats.engine,
             )
-        return len(self.internal_atpg.undetectable)
+        return (
+            len(self.internal_atpg.undetectable)
+            + len(self.internal_atpg.aborted)
+        )
 
     def result_state(self) -> DesignState:
         """Stage 3: full re-analysis of the placed candidate."""
@@ -514,9 +524,12 @@ class _Resynthesizer:
 
             def accept(cand: DesignState, cur: DesignState) -> bool:
                 # Phase 1: S_max must shrink without increasing total U.
+                # The candidate is held to its pessimistic U (proved
+                # undetectable + aborted): an unclassified fault never
+                # buys acceptance.  u_upper == u_total when no budget.
                 return (
                     cand.smax_size < cur.smax_size
-                    and cand.u_total <= cur.u_total
+                    and cand.u_upper <= cur.u_total
                 )
 
             new = self.resynthesize_once(
@@ -535,8 +548,10 @@ class _Resynthesizer:
 
             def accept(cand: DesignState, cur: DesignState) -> bool:
                 # Phase 2: total U must drop; S_max share stays <= p2.
+                # As in phase 1, the candidate's pessimistic U (proved +
+                # aborted) must beat the reference's proved U.
                 return (
-                    cand.u_total < cur.u_total
+                    cand.u_upper < cur.u_total
                     and cand.smax_fraction_of_f <= p2
                 )
 

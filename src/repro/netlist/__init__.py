@@ -20,10 +20,17 @@ from repro.netlist.simulator import (
     CompiledCircuit,
     clear_compiled_cache,
     compile_cell_eval,
+    set_cache_integrity,
     simulate,
     simulate_patterns,
 )
 from repro.netlist.io import parse_netlist, write_netlist
+from repro.netlist.validate import (
+    Diagnostic,
+    ValidationReport,
+    lint_circuit,
+    lint_netlist_text,
+)
 
 __all__ = [
     "CompiledCircuit",
@@ -37,8 +44,13 @@ __all__ = [
     "extract_subcircuit",
     "replace_subcircuit",
     "compile_cell_eval",
+    "set_cache_integrity",
     "simulate",
     "simulate_patterns",
     "parse_netlist",
     "write_netlist",
+    "Diagnostic",
+    "ValidationReport",
+    "lint_circuit",
+    "lint_netlist_text",
 ]

@@ -12,11 +12,18 @@ A deliberately simple line-oriented format::
 ``input``/``output`` lines may repeat and accumulate.  ``#`` starts a
 comment.  Gate output nets follow the ``>`` marker; input pins are
 ``PIN=net`` pairs.
+
+Every parse error carries a source location (``path:line:``) so a bad
+netlist in a large campaign points straight at the offending line rather
+than surfacing as a bare exception from circuit construction.  For
+recovering, multi-diagnostic ingestion (collect *all* problems instead
+of stopping at the first), see :func:`repro.netlist.validate.
+lint_netlist_text`.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Optional
 
 from repro.netlist.circuit import Circuit, NetlistError
 
@@ -35,10 +42,30 @@ def write_netlist(circuit: Circuit) -> str:
     return "\n".join(lines) + "\n"
 
 
-def parse_netlist(text: str) -> Circuit:
-    """Parse the text format into a :class:`Circuit`."""
-    circuit: Circuit | None = None
+def _located(path: Optional[str], lineno: Optional[int], message: str) -> NetlistError:
+    """A :class:`NetlistError` prefixed with its source location."""
+    where = path or "<netlist>"
+    if lineno is not None:
+        where = f"{where}:{lineno}"
+    return NetlistError(f"{where}: {message}")
+
+
+def parse_netlist(text: str, path: Optional[str] = None) -> Circuit:
+    """Parse the text format into a :class:`Circuit`.
+
+    *path* is only used to label error messages (``path:line: ...``);
+    the text itself is always taken from *text*.  Raises
+    :class:`NetlistError` on the first problem found — syntax errors,
+    construction errors (duplicate gate, multi-driven net, ...) and
+    structural validation failures (undriven net, combinational loop)
+    all carry the file name and, where attributable, the line number.
+    """
+    circuit: Optional[Circuit] = None
     outputs: List[str] = []
+    # Source line of each gate / each output declaration, for locating
+    # structural errors that only surface at validate() time.
+    gate_lines: Dict[str, int] = {}
+    output_lines: Dict[str, int] = {}
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
         if not line:
@@ -47,39 +74,86 @@ def parse_netlist(text: str) -> Circuit:
         kind = tokens[0]
         try:
             if kind == "circuit":
+                if circuit is not None:
+                    raise _located(path, lineno, "duplicate 'circuit' header")
                 circuit = Circuit(tokens[1])
             elif kind == "input":
-                _require(circuit, lineno)
+                _require(circuit, path, lineno)
                 for name in tokens[1:]:
-                    circuit.add_input(name)
+                    try:
+                        circuit.add_input(name)
+                    except NetlistError as exc:
+                        raise _located(path, lineno, str(exc)) from exc
             elif kind == "output":
-                _require(circuit, lineno)
-                outputs.extend(tokens[1:])
+                _require(circuit, path, lineno)
+                for name in tokens[1:]:
+                    if name in output_lines:
+                        raise _located(
+                            path, lineno, f"duplicate output {name}"
+                        )
+                    output_lines[name] = lineno
+                    outputs.append(name)
             elif kind == "gate":
-                _require(circuit, lineno)
+                _require(circuit, path, lineno)
                 name, cell = tokens[1], tokens[2]
                 arrow = tokens.index(">")
                 pins = {}
                 for pair in tokens[3:arrow]:
                     pin, _, net = pair.partition("=")
                     if not net:
-                        raise NetlistError(f"bad pin spec {pair!r}")
+                        raise _located(path, lineno, f"bad pin spec {pair!r}")
                     pins[pin] = net
                 if arrow + 2 != len(tokens):
-                    raise NetlistError("expected single output net after '>'")
-                circuit.add_gate(name, cell, pins, tokens[arrow + 1])
+                    raise _located(
+                        path, lineno, "expected single output net after '>'"
+                    )
+                try:
+                    circuit.add_gate(name, cell, pins, tokens[arrow + 1])
+                except NetlistError as exc:
+                    raise _located(path, lineno, str(exc)) from exc
+                gate_lines[name] = lineno
             else:
-                raise NetlistError(f"unknown directive {kind!r}")
+                raise _located(path, lineno, f"unknown directive {kind!r}")
         except (IndexError, ValueError) as exc:
-            raise NetlistError(f"line {lineno}: malformed line {line!r}") from exc
+            raise _located(
+                path, lineno, f"malformed {kind!r} line: {line!r}"
+            ) from exc
     if circuit is None:
-        raise NetlistError("no 'circuit' line found")
+        raise _located(path, None, "no 'circuit' line found")
+    # Duplicates were rejected at their declaration line above, so
+    # set_outputs cannot raise here.
     circuit.set_outputs(outputs)
-    circuit.validate()
+    try:
+        circuit.validate()
+    except NetlistError as exc:
+        raise _located(
+            path, _blame_line(str(exc), gate_lines, output_lines), str(exc)
+        ) from exc
     return circuit
 
 
-def _require(circuit: Circuit | None, lineno: int) -> Circuit:
+def _blame_line(
+    message: str,
+    gate_lines: Dict[str, int],
+    output_lines: Dict[str, int],
+) -> Optional[int]:
+    """Best-effort source line for a validation failure.
+
+    Validation errors name the offending gate (``"gate U2 pin A: net n3
+    undriven"``) or output net (``"output net x undriven"``); if exactly
+    one known name appears in the message, its declaration line is the
+    location.
+    """
+    tokens = set(message.replace(",", " ").replace(":", " ").split())
+    hits = [g for g in gate_lines if g in tokens]
+    if len(hits) == 1:
+        return gate_lines[hits[0]]
+    hits = [n for n in output_lines if n in tokens]
+    if len(hits) == 1:
+        return output_lines[hits[0]]
+    return None
+
+
+def _require(circuit: Optional[Circuit], path: Optional[str], lineno: int) -> None:
     if circuit is None:
-        raise NetlistError(f"line {lineno}: statement before 'circuit' header")
-    return circuit
+        raise _located(path, lineno, "statement before 'circuit' header")

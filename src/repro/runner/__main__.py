@@ -125,10 +125,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     chk = sub.add_parser(
-        "check", help="validate journal integrity + resume discipline"
+        "check",
+        help="validate journal integrity + resume discipline, "
+             "or lint netlist files (--netlist)",
     )
-    chk.add_argument("run_id")
+    chk.add_argument("run_id", nargs="?", default=None)
     _add_common(chk)
+    chk.add_argument(
+        "--netlist", action="append", default=[], metavar="FILE",
+        help="lint a netlist file instead of checking a run journal "
+             "(repeatable; exit 1 on any structural error)",
+    )
 
     dif = sub.add_parser(
         "diff", help="compare two runs' normalized reports"
@@ -173,6 +180,18 @@ def _cmd_run(args) -> int:
             file=sys.stderr,
         )
         return 2
+    from repro.runner.tasks import preflight_campaign
+
+    problems = preflight_campaign(campaign)
+    if problems:
+        print(
+            f"error: campaign preflight found {len(problems)} problem(s); "
+            "nothing was run:",
+            file=sys.stderr,
+        )
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 2
     hook = _parse_kill_at(args.kill_at) if args.kill_at else None
     runner = Runner(campaign, root=args.out, on_task_start=hook)
     report = runner.execute()
@@ -209,6 +228,14 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_check(args) -> int:
+    if args.netlist:
+        return _check_netlists(args.netlist)
+    if not args.run_id:
+        print(
+            "error: check needs a run_id or at least one --netlist FILE",
+            file=sys.stderr,
+        )
+        return 2
     journal_path = os.path.join(args.out, args.run_id, "journal.jsonl")
     if not os.path.exists(journal_path):
         print(f"error: no journal at {journal_path}", file=sys.stderr)
@@ -232,6 +259,31 @@ def _cmd_check(args) -> int:
         return 1
     print("OK: journal intact, no completed task re-executed")
     return 0
+
+
+def _check_netlists(paths) -> int:
+    """Lint netlist files with the structural validator (check --netlist)."""
+    from repro.library import osu018_library
+    from repro.netlist.validate import lint_netlist_text
+
+    cells = {c.name: c for c in osu018_library()}
+    failed = False
+    for path in paths:
+        try:
+            with open(path) as fh:
+                text = fh.read()
+        except OSError as exc:
+            print(f"FAIL: {path}: {exc}")
+            failed = True
+            continue
+        _circuit, report = lint_netlist_text(text, path=path, cells=cells)
+        if report.ok and not report.warnings:
+            print(f"OK: {path}: clean")
+        else:
+            print(report.render())
+            if not report.ok:
+                failed = True
+    return 1 if failed else 0
 
 
 def _cmd_diff(args) -> int:

@@ -40,6 +40,10 @@ VOLATILE_KEYS = frozenset({
     "eval_compiles",
     "plan_builds",
     "plan_cache_hits",
+    # A corrupted cache entry is only *noticed* on a hit, so the repair
+    # count depends on cache temperature, like the counters above.  The
+    # repaired results themselves are bit-identical either way.
+    "cache_integrity_failures",
 })
 
 
@@ -88,6 +92,7 @@ def build_report(
     results: Dict[str, object] = {}
     tasks: Dict[str, dict] = {}
     engine_totals: Dict[str, object] = {}
+    degradations: Dict[str, dict] = {}
     status = "ok"
     for task_id, outcome in outcomes.items():
         task_status = outcome["status"]
@@ -104,6 +109,8 @@ def build_report(
             continue
         payload = outcome.get("payload") or {}
         results[task_id] = payload
+        if isinstance(payload.get("degradation"), Mapping):
+            degradations[task_id] = dict(payload["degradation"])
         if outcome["kind"] == "analyze" and "row" in payload:
             table1.append(payload["row"])
         if outcome["kind"] == "resynthesize":
@@ -139,6 +146,12 @@ def build_report(
         report["table2"] = {"rows": table2_rows, "averages": averages}
     if engine_totals:
         report["engine_totals"] = engine_totals
+    if degradations:
+        # Present only when some task degraded (aborted faults,
+        # approximate mode, repaired cache corruption): a clean run's
+        # report shape is unchanged, and every degradation is explicit —
+        # never folded silently into the tables.
+        report["degradations"] = degradations
     return report
 
 
@@ -168,6 +181,24 @@ def load_report(run_dir: str) -> Optional[dict]:
     return None
 
 
+def _union_header(rows: List[Mapping[str, object]]) -> List[str]:
+    """Ordered union of all row keys.
+
+    Rows journaled by different code revisions (a resumed run mixing old
+    cached payloads with fresh ones) may not share a column set; taking
+    the union — with ``""`` filling the gaps — keeps rendering working
+    instead of crashing on the first ragged row.
+    """
+    header: List[str] = []
+    seen = set()
+    for row in rows:
+        for key in row:
+            if key not in seen:
+                seen.add(key)
+                header.append(key)
+    return header
+
+
 def render_report(report: Mapping[str, object]) -> str:
     """Human-readable rendering: tables plus the effort breakdown."""
     from repro.utils import format_table
@@ -177,18 +208,33 @@ def render_report(report: Mapping[str, object]) -> str:
     ]
     table1 = report.get("table1")
     if table1:
-        header = list(table1[0].keys())
+        header = _union_header(table1)
         lines.append(format_table(
-            header, [list(r.values()) for r in table1],
+            header, [[r.get(k, "") for k in header] for r in table1],
             title="TABLE I. CLUSTERED UNDETECTABLE FAULTS",
         ))
     table2 = report.get("table2")
     if table2 and table2.get("rows"):
         rows = list(table2["rows"]) + list(table2.get("averages", ()))
-        header = list(rows[0].keys())
+        header = _union_header(rows)
         lines.append(format_table(
-            header, [list(r.values()) for r in rows],
+            header, [[r.get(k, "") for k in header] for r in rows],
             title="TABLE II. EXPERIMENTAL RESULTS",
+        ))
+    degradations = report.get("degradations") or {}
+    if isinstance(degradations, Mapping) and degradations:
+        rows = []
+        for tid, deg in degradations.items():
+            records = deg.get("records") or []
+            detail = "; ".join(str(r) for r in records) if records else "-"
+            counts = ", ".join(
+                f"{k}={v}" for k, v in sorted(deg.items())
+                if k != "records" and v
+            )
+            rows.append([tid, counts or "-", detail])
+        lines.append(format_table(
+            ["task", "counters", "detail"], rows,
+            title="DEGRADATIONS (results usable but not exact — see detail)",
         ))
     tasks = report.get("tasks") or {}
     if tasks:

@@ -118,13 +118,22 @@ def analyze_task(params: Mapping[str, object], ctx: TaskContext) -> dict:
     )
     if ctx.store is not None:
         ctx.store[f"analysis:{variant}:{name}"] = state
-    return {
+    payload = {
         "circuit": name,
         "variant": variant,
         "row": table1_row(name, state),
         "engine": state.stats.as_dict(),
         "timings": dict(state.timings),
     }
+    # Only present when something degraded, so clean-run reports (and
+    # their resume-diff comparisons) are untouched.
+    if state.degraded or state.stats.degradations:
+        payload["degradation"] = {
+            "aborted_faults": state.n_aborted,
+            "approximate": state.atpg.approximate,
+            "records": list(state.stats.degradations),
+        }
+    return payload
 
 
 @task("resynthesize", fingerprint=_circuit_fingerprint)
@@ -152,7 +161,7 @@ def resynthesize_task(params: Mapping[str, object], ctx: TaskContext) -> dict:
     if ctx.store is not None:
         ctx.store[f"resynthesis:{variant}:{name}"] = result
         ctx.store.setdefault(f"analysis:{variant}:{name}", result.original)
-    return {
+    payload = {
         "circuit": name,
         "variant": variant,
         "rows": table2_row(name, result),
@@ -163,6 +172,15 @@ def resynthesize_task(params: Mapping[str, object], ctx: TaskContext) -> dict:
         "runtime": result.runtime,
         "baseline_runtime": result.baseline_runtime,
     }
+    engine = result.stats.engine
+    if (engine.degradations or engine.verdicts_aborted
+            or engine.cache_integrity_failures):
+        payload["degradation"] = {
+            "aborted_verdicts": engine.verdicts_aborted,
+            "cache_integrity_failures": engine.cache_integrity_failures,
+            "records": list(engine.degradations),
+        }
+    return payload
 
 
 # ----------------------------------------------------------------------
@@ -215,6 +233,46 @@ def kill_self_task(params: Mapping[str, object], ctx: TaskContext) -> dict:
             fh.write("armed\n")
         os.kill(os.getpid(), signal.SIGKILL)
     return {"value": int(params.get("value", 0)), "survived": True}
+
+
+# ----------------------------------------------------------------------
+# Campaign preflight
+# ----------------------------------------------------------------------
+
+def preflight_campaign(campaign) -> List[str]:
+    """Lint every circuit the campaign will analyze, before any work runs.
+
+    Builds each distinct (circuit, scale, variant) once (the builders
+    are process-cached, so the tasks reuse the same objects later) and
+    runs the structural linter against the variant's cell library.
+    Returns a flat list of problem strings — empty means go.  A bad
+    benchmark or library variant is reported for every affected task id,
+    so the user sees which parts of the sweep are doomed up front
+    instead of after hours of healthy tasks.
+    """
+    from repro.netlist.validate import lint_circuit
+
+    problems: List[str] = []
+    linted: dict = {}
+    for spec in campaign.tasks:
+        if spec.kind not in ("analyze", "resynthesize"):
+            continue
+        key = _circuit_params(spec.params)
+        if key not in linted:
+            name, scale, variant = key
+            found: List[str] = []
+            try:
+                library = _library_variant(variant)
+                circuit = _built_circuit(name, scale, variant)
+            except Exception as exc:  # noqa: BLE001 - report, don't crash
+                found.append(f"cannot build circuit {name!r} ({exc})")
+            else:
+                cells = {c.name: c for c in library}
+                report = lint_circuit(circuit, cells=cells)
+                found.extend(str(d) for d in report.errors)
+            linted[key] = found
+        problems.extend(f"{spec.task_id}: {p}" for p in linted[key])
+    return problems
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,22 @@
+"""Test-support harnesses (chaos fault injection).
+
+Not imported by any production module — the engine only knows about the
+neutral seam registry in :mod:`repro.utils.seams`; everything that
+actually injects failures lives here and in the test suite.
+"""
+
+from repro.testing.chaos import (
+    ChaosConfig,
+    ChaosError,
+    ChaosInjector,
+    chaos,
+    install_from_env,
+)
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosError",
+    "ChaosInjector",
+    "chaos",
+    "install_from_env",
+]

@@ -19,7 +19,7 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator
+from typing import Dict, Iterator, List
 
 # All duration measurements in the engine go through time.perf_counter():
 # it is monotonic (wall clock adjustments cannot produce negative phase
@@ -59,6 +59,16 @@ class EngineStats:
     * ``parallel_chunks`` — work chunks dispatched to worker threads;
     * ``sat_calls`` / ``sat_conflicts`` / ``sat_propagations`` — exact
       ATPG solver effort;
+    * ``sat_aborts`` — per-fault SAT decisions that ran out of their
+      resource budget (deadline / conflict / decision limits);
+    * ``verdicts_aborted`` — behaviour classes left unclassified by an
+      aborted decision (never counted as undetectable);
+    * ``cache_integrity_failures`` — corrupted good-value cache entries
+      detected by the checksum verification and recomputed;
+    * ``degradations`` — human-readable records of every graceful
+      degradation taken during the run (aborted faults, approximate
+      mode, repaired cache corruption).  Deterministic given the same
+      inputs and budget, so normalized-report comparisons still work;
     * ``phase_seconds`` — wall-clock per engine phase.
     """
 
@@ -82,6 +92,10 @@ class EngineStats:
     sat_calls: int = 0
     sat_conflicts: int = 0
     sat_propagations: int = 0
+    sat_aborts: int = 0
+    verdicts_aborted: int = 0
+    cache_integrity_failures: int = 0
+    degradations: List[str] = field(default_factory=list)
     phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     def add_phase(self, name: str, seconds: float) -> None:
@@ -122,6 +136,10 @@ class EngineStats:
         self.sat_calls += other.sat_calls
         self.sat_conflicts += other.sat_conflicts
         self.sat_propagations += other.sat_propagations
+        self.sat_aborts += other.sat_aborts
+        self.verdicts_aborted += other.verdicts_aborted
+        self.cache_integrity_failures += other.cache_integrity_failures
+        self.degradations.extend(other.degradations)
         for name, seconds in other.phase_seconds.items():
             self.add_phase(name, seconds)
 
@@ -148,6 +166,10 @@ class EngineStats:
             "sat_calls": self.sat_calls,
             "sat_conflicts": self.sat_conflicts,
             "sat_propagations": self.sat_propagations,
+            "sat_aborts": self.sat_aborts,
+            "verdicts_aborted": self.verdicts_aborted,
+            "cache_integrity_failures": self.cache_integrity_failures,
+            "degradations": list(self.degradations),
             "phase_seconds": dict(self.phase_seconds),
         }
         return out
