@@ -15,6 +15,7 @@ from repro.faults.fsim import PatternBatch, fault_simulate
 from repro.faults.model import Fault
 from repro.library.cell import StandardCell
 from repro.netlist.circuit import Circuit
+from repro.netlist.vsim import batch_capacity
 from repro.utils.observability import EngineStats
 
 TestPair = Tuple[Dict[str, int], Dict[str, int]]
@@ -28,19 +29,26 @@ def compact_tests(
     *,
     workers: int = 1,
     stats: Optional[EngineStats] = None,
+    backend: Optional[str] = None,
 ) -> List[TestPair]:
-    """Reverse-order compaction of *tests* against *faults*."""
+    """Reverse-order compaction of *tests* against *faults*.
+
+    The detection matrix is backend-independent, so the kept subset is
+    identical for any *backend*; the wide backend just builds it in
+    fewer, larger fault-simulation batches.
+    """
     if not tests:
         return []
     n = len(tests)
-    word = 64
+    word = batch_capacity(backend)
     # detect_matrix[fault index] = bit vector over test indices.
     detect: List[int] = [0] * len(faults)
     for start in range(0, n, word):
         chunk = tests[start:start + word]
         batch = PatternBatch.from_pairs(circuit, chunk)
         words = fault_simulate(
-            circuit, cells, faults, batch, workers=workers, stats=stats
+            circuit, cells, faults, batch,
+            workers=workers, stats=stats, backend=backend,
         )
         for fi, w in enumerate(words):
             detect[fi] |= w << start

@@ -41,6 +41,7 @@ from repro.faults.fsim import PatternBatch, fault_simulate
 from repro.faults.model import Fault
 from repro.library.cell import StandardCell
 from repro.netlist.circuit import Circuit
+from repro.netlist.vsim import BACKEND_EVENT, batch_capacity, resolve_backend
 from repro.utils.observability import EngineStats
 from repro.utils.rng import make_rng
 
@@ -108,7 +109,7 @@ def run_atpg(
     faults: Sequence[Fault],
     seed: int = 0,
     random_rounds: int = 8,
-    batch_size: int = 64,
+    batch_size: Optional[int] = None,
     compaction: bool = True,
     initial_tests: Optional[Sequence[TestPair]] = None,
     assume_undetectable: Optional[AbstractSet] = None,
@@ -116,6 +117,7 @@ def run_atpg(
     workers: int = 1,
     stats: Optional[EngineStats] = None,
     budget: Optional[AtpgBudget] = None,
+    backend: Optional[str] = None,
 ) -> AtpgResult:
     """Classify *faults* on *circuit* and build a test set.
 
@@ -123,6 +125,21 @@ def run_atpg(
     unlimited when unset) bounds each deterministic SAT decision; faults
     whose decision runs out land in ``result.aborted`` with the
     conservative semantics described in the module docstring.
+
+    *backend* selects the fault-simulation engine for every batch the
+    driver runs (``"event"``/``"wide"``; default: the
+    ``REPRO_SIM_BACKEND`` environment variable, falling back to the
+    event backend).  *batch_size* is the number of random pattern pairs
+    simulated per round and the chunk size for initial-test replay.  It
+    defaults to the full capacity of the active backend — 64 patterns
+    (one machine word) for the event backend, ``64 * REPRO_SIM_WORDS``
+    (4096 by default) for the wide backend — and must stay within that
+    capacity: a batch cannot pack more patterns than the backend's word
+    width holds, so an oversized value raises :class:`ValueError` here
+    rather than producing silent truncation deep in the simulator.  The
+    classification is backend-independent; the generated test *set* is
+    too for equal *batch_size*, since both backends see identical
+    batches and produce bit-identical detection words.
 
     Strategy: seeded random pattern pairs with bit-parallel fault
     simulation drop the easy faults; each remaining behaviour class gets
@@ -150,6 +167,26 @@ def run_atpg(
     accumulate into a caller-owned instance instead).
     """
     start = time.perf_counter()
+    # Resolve the backend once so a mid-run environment change cannot
+    # split the run across backends, then validate batch_size against
+    # the resolved backend's pattern capacity (satellite: explicit
+    # validation instead of silent truncation).
+    backend = resolve_backend(backend)
+    capacity = batch_capacity(backend)
+    if batch_size is None:
+        batch_size = capacity if backend != BACKEND_EVENT else 64
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    if batch_size > capacity:
+        raise ValueError(
+            f"batch_size {batch_size} exceeds the {backend!r} backend's "
+            f"capacity of {capacity} patterns per batch"
+            + (
+                " (raise REPRO_SIM_WORDS to widen the wide backend)"
+                if backend != BACKEND_EVENT
+                else " (use backend='wide' for larger batches)"
+            )
+        )
     if budget is None:
         budget = AtpgBudget.from_env()
     result = AtpgResult(n_faults=len(faults))
@@ -188,7 +225,7 @@ def run_atpg(
                 batch = PatternBatch.from_pairs(circuit, chunk)
                 words = fault_simulate(
                     circuit, cells, remaining, batch,
-                    workers=workers, stats=stats,
+                    workers=workers, stats=stats, backend=backend,
                 )
                 used: Dict[int, TestPair] = {}
                 still: List[Fault] = []
@@ -213,7 +250,7 @@ def run_atpg(
             )
             words = fault_simulate(
                 circuit, cells, remaining, batch,
-                workers=workers, stats=stats,
+                workers=workers, stats=stats, backend=backend,
             )
             new_pairs: Dict[int, TestPair] = {}
             still: List[Fault] = []
@@ -281,7 +318,7 @@ def run_atpg(
                 batch = PatternBatch.from_pairs(circuit, pending_drop)
                 words = fault_simulate(
                     circuit, cells, todo, batch,
-                    workers=workers, stats=stats,
+                    workers=workers, stats=stats, backend=backend,
                 )
                 for f, w in zip(todo, words):
                     if w:
@@ -337,7 +374,7 @@ def run_atpg(
         with stats.phase("atpg.compaction"):
             tests = compact_tests(
                 circuit, cells, detected_rep_faults, tests,
-                workers=workers, stats=stats,
+                workers=workers, stats=stats, backend=backend,
             )
     result.tests = tests
     result.runtime = time.perf_counter() - start

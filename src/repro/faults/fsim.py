@@ -25,6 +25,12 @@ per-plan LRU so re-simulating a previously seen pattern batch skips the
 good simulation entirely.  ``workers=N`` fault-partitions a batch across
 a thread pool — chunks are balanced by output-cone size and merged by
 fault index, so results are bit-identical to the serial path.
+
+:func:`fault_simulate` is also the dispatch point for the *wide* numpy
+backend (:mod:`repro.faults.vfsim`): pass ``backend="wide"`` or set
+``REPRO_SIM_BACKEND=wide`` to simulate thousands of pattern pairs per
+pass with vectorized word arrays; detect words are bit-identical across
+backends for the same batch.
 """
 
 from __future__ import annotations
@@ -45,6 +51,13 @@ from repro.library.cell import StandardCell
 from repro.library.defects import CellDefect
 from repro.netlist.circuit import Circuit
 from repro.netlist.simulator import CompiledCircuit
+from repro.netlist.vsim import (
+    BACKEND_EVENT,
+    BACKEND_WIDE,
+    batch_capacity,
+    resolve_backend,
+    words_for,
+)
 from repro.utils.observability import EngineStats
 from repro.utils.rng import make_rng
 
@@ -55,7 +68,15 @@ _MIN_PARALLEL_FAULTS = 8
 
 @dataclass
 class PatternBatch:
-    """Up to a word of test pairs, PI values packed as bit vectors."""
+    """A width-agnostic batch of test pairs, PI values packed as bit vectors.
+
+    ``frame1[pi]`` / ``frame2[pi]`` hold bit *i* of primary input *pi*
+    under pair *i* as arbitrary-precision Python ints, so one batch can
+    carry anything from a single pair up to the wide backend's
+    ``64 * REPRO_SIM_WORDS`` patterns; the event backend consumes the
+    ints directly, the wide backend packs them into numpy uint64 word
+    arrays (:func:`repro.netlist.vsim.pack_word`).
+    """
 
     n: int
     frame1: Dict[str, int]
@@ -65,19 +86,36 @@ class PatternBatch:
     def mask(self) -> int:
         return (1 << self.n) - 1
 
+    @property
+    def words(self) -> int:
+        """64-bit words needed to hold this batch's patterns."""
+        return words_for(self.n)
+
     @staticmethod
     def from_pairs(
         circuit: Circuit,
         pairs: Sequence[Tuple[Mapping[str, int], Mapping[str, int]]],
     ) -> "PatternBatch":
-        f1: Dict[str, int] = {pi: 0 for pi in circuit.inputs}
-        f2: Dict[str, int] = {pi: 0 for pi in circuit.inputs}
-        for i, (v1, v2) in enumerate(pairs):
-            for pi in circuit.inputs:
+        # Accumulate each PI's word in a local int over one pass of the
+        # pairs: two dict reads per (pair, PI) and a single store per PI,
+        # instead of the per-set-bit read-modify-write dict updates the
+        # naive packing pays.  The packed ints are exactly what the wide
+        # backend's array packing consumes, so the result is reused
+        # as-is by both backends.
+        f1: Dict[str, int] = {}
+        f2: Dict[str, int] = {}
+        for pi in circuit.inputs:
+            w1 = 0
+            w2 = 0
+            bit = 1
+            for v1, v2 in pairs:
                 if v1[pi]:
-                    f1[pi] |= 1 << i
+                    w1 |= bit
                 if v2[pi]:
-                    f2[pi] |= 1 << i
+                    w2 |= bit
+                bit <<= 1
+            f1[pi] = w1
+            f2[pi] = w2
         return PatternBatch(len(pairs), f1, f2)
 
     @staticmethod
@@ -205,7 +243,11 @@ def _make_context(
 ) -> _SimContext:
     """Context for one batch, with plan and good-value caching."""
     plan = CompiledCircuit.get(circuit, cells, stats=stats)
+    # The key leads with the backend tag (and the wide keys additionally
+    # carry their word count), so event and wide entries for the same
+    # frames can coexist in the shared per-plan LRU without colliding.
     key = (
+        "event",
         batch.n,
         tuple(batch.frame1.get(pi, 0) for pi in plan.pi_order),
         tuple(batch.frame2.get(pi, 0) for pi in plan.pi_order),
@@ -397,13 +439,25 @@ def fault_simulate(
     *,
     workers: int = 1,
     stats: Optional[EngineStats] = None,
+    backend: Optional[str] = None,
 ) -> List[int]:
     """Per-fault detect words (bit i set = pair i detects the fault).
 
-    With ``workers > 1`` the fault list is partitioned across a thread
-    pool (chunks balanced by output-cone size); each fault's simulation
-    is independent and results are merged back by fault index, so the
-    output is bit-identical to the serial path.
+    *backend* selects the simulation engine: ``"event"`` (bit-parallel
+    Python-int words with event-driven propagation — the default) or
+    ``"wide"`` (numpy uint64 word arrays with dense cone-scoped
+    propagation, thousands of patterns per pass — see
+    :mod:`repro.faults.vfsim`).  ``None`` defers to the
+    ``REPRO_SIM_BACKEND`` environment variable, so existing call sites
+    pick the wide backend up without changes.  Both backends return
+    bit-identical detect words for the same batch.
+
+    With ``workers > 1`` the event backend partitions the fault list
+    across a thread pool (chunks balanced by output-cone size); each
+    fault's simulation is independent and results are merged back by
+    fault index, so the output is bit-identical to the serial path.
+    The wide backend is always serial — vectorization over the pattern
+    dimension replaces fault-partitioned threading.
 
     Counter discipline: nothing records into the caller's *stats* while
     worker threads run.  Every count lands in a private per-call
@@ -413,6 +467,12 @@ def fault_simulate(
     the end — so a shared EngineStats never loses increments, and the
     counters of a ``workers=N`` run equal those of a serial run.
     """
+    if resolve_backend(backend) == BACKEND_WIDE:
+        from repro.faults.vfsim import wide_fault_simulate
+
+        return wide_fault_simulate(
+            circuit, cells, faults, batch, stats=stats
+        )
     local = EngineStats()
     ctx = _make_context(circuit, cells, batch, stats=local)
     local.batches += 1
@@ -452,16 +512,24 @@ def detected_by_patterns(
     *,
     workers: int = 1,
     stats: Optional[EngineStats] = None,
+    backend: Optional[str] = None,
 ) -> List[bool]:
-    """Convenience wrapper: which faults do these test pairs detect?"""
+    """Convenience wrapper: which faults do these test pairs detect?
+
+    Pairs are chunked at the active backend's batch capacity: 64 per
+    pass for the event backend, ``64 * REPRO_SIM_WORDS`` for the wide
+    backend (so a long test list rides a handful of wide passes).
+    """
     if not pairs:
         return [False] * len(faults)
+    backend = resolve_backend(backend)
     flags = [False] * len(faults)
-    word = 64
+    word = batch_capacity(backend)
     for start in range(0, len(pairs), word):
         batch = PatternBatch.from_pairs(circuit, pairs[start:start + word])
         words = fault_simulate(
-            circuit, cells, faults, batch, workers=workers, stats=stats
+            circuit, cells, faults, batch, workers=workers, stats=stats,
+            backend=backend,
         )
         for i, w in enumerate(words):
             if w:

@@ -24,6 +24,14 @@ from repro.netlist.simulator import (
     simulate,
     simulate_patterns,
 )
+from repro.netlist.vsim import (
+    BACKEND_EVENT,
+    BACKEND_WIDE,
+    batch_capacity,
+    resolve_backend,
+    resolve_words,
+    simulate_wide,
+)
 from repro.netlist.io import parse_netlist, write_netlist
 from repro.netlist.validate import (
     Diagnostic,
@@ -47,6 +55,12 @@ __all__ = [
     "set_cache_integrity",
     "simulate",
     "simulate_patterns",
+    "BACKEND_EVENT",
+    "BACKEND_WIDE",
+    "batch_capacity",
+    "resolve_backend",
+    "resolve_words",
+    "simulate_wide",
     "parse_netlist",
     "write_netlist",
     "Diagnostic",

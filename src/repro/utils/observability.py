@@ -56,6 +56,15 @@ class EngineStats:
       clusters carried over unchanged by the incremental union-find
       update vs. re-derived after a local circuit change;
     * ``batches`` — pattern batches fault-simulated;
+    * ``wide_batches`` — batches simulated by the wide numpy backend
+      (a subset of ``batches``);
+    * ``words_per_batch`` — widest wide batch seen, in 64-bit words
+      (merged by max, not sum: it is a high-water mark, so the counter
+      of a merged run equals the widest of its parts);
+    * ``vector_ops`` — vectorized array operations the wide backend
+      issued: one per gate evaluated during wide good simulation and
+      dense cone propagation (the wide analogue of
+      ``events_propagated``, which only the event backend records);
     * ``parallel_chunks`` — work chunks dispatched to worker threads;
     * ``sat_calls`` / ``sat_conflicts`` / ``sat_propagations`` — exact
       ATPG solver effort;
@@ -88,6 +97,9 @@ class EngineStats:
     clusters_reused: int = 0
     clusters_recomputed: int = 0
     batches: int = 0
+    wide_batches: int = 0
+    words_per_batch: int = 0
+    vector_ops: int = 0
     parallel_chunks: int = 0
     sat_calls: int = 0
     sat_conflicts: int = 0
@@ -132,6 +144,11 @@ class EngineStats:
         self.clusters_reused += other.clusters_reused
         self.clusters_recomputed += other.clusters_recomputed
         self.batches += other.batches
+        self.wide_batches += other.wide_batches
+        self.words_per_batch = max(
+            self.words_per_batch, other.words_per_batch
+        )
+        self.vector_ops += other.vector_ops
         self.parallel_chunks += other.parallel_chunks
         self.sat_calls += other.sat_calls
         self.sat_conflicts += other.sat_conflicts
@@ -162,6 +179,9 @@ class EngineStats:
             "clusters_reused": self.clusters_reused,
             "clusters_recomputed": self.clusters_recomputed,
             "batches": self.batches,
+            "wide_batches": self.wide_batches,
+            "words_per_batch": self.words_per_batch,
+            "vector_ops": self.vector_ops,
             "parallel_chunks": self.parallel_chunks,
             "sat_calls": self.sat_calls,
             "sat_conflicts": self.sat_conflicts,

@@ -1,0 +1,164 @@
+"""Differential tests: the wide numpy backend vs the event backend.
+
+The wide backend (:mod:`repro.faults.vfsim`) must be *bit-identical* to
+the event backend — not just same detected/undetected flags, but the
+same detect words: bit *i* of fault *f*'s word set by exactly the same
+pattern pairs.  Bit-identity is structural (both backends share the
+compiled plan's topological order, pin indices and evaluators), and this
+suite locks it in:
+
+* on random mapped circuits with faults of every model, across batch
+  widths from a single pair up to several 64-bit words;
+* on every bundled benchmark circuit for seeds {0, 1, 2};
+* end-to-end through ``run_atpg`` — same classification, same tests,
+  same coverage for equal ``batch_size``;
+* through the ``detected_by_patterns`` capacity-chunked wrapper and
+  the ``REPRO_SIM_BACKEND`` environment dispatch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.atpg.engine import run_atpg
+from repro.bench.circuits import BENCHMARKS, build_benchmark
+from repro.faults.fsim import (
+    PatternBatch,
+    detected_by_patterns,
+    fault_simulate,
+)
+from repro.faults.vfsim import wide_fault_simulate
+from repro.utils.observability import EngineStats
+from tests.conftest import mixed_fault_list, random_mapped_circuit
+
+# Batch widths spanning the interesting boundaries: a single pair, a
+# partial word, exactly one word, a word boundary + 1, several words.
+WIDTHS = [1, 17, 64, 65, 200]
+
+# Benchmark circuits are expensive to synthesize; build each once for
+# the whole module run.
+_BENCH_CACHE = {}
+
+
+def _bench(name, library):
+    circuit = _BENCH_CACHE.get(name)
+    if circuit is None:
+        circuit = build_benchmark(name, library)
+        _BENCH_CACHE[name] = circuit
+    return circuit
+
+
+def _assert_identical(circuit, cells, faults, batch):
+    event = fault_simulate(circuit, cells, faults, batch, backend="event")
+    wide = fault_simulate(circuit, cells, faults, batch, backend="wide")
+    assert event == wide
+    return event
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("width", WIDTHS)
+def test_wide_matches_event_all_models(cells, library, seed, width):
+    circuit = random_mapped_circuit(cells, seed=seed)
+    faults = mixed_fault_list(circuit, library, seed=seed)
+    batch = PatternBatch.random(circuit, width, seed=seed * 1000 + width)
+    words = _assert_identical(circuit, cells, faults, batch)
+    if width >= 64:
+        assert any(words)  # the suite must exercise real detections
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_wide_matches_event_on_benchmarks(cells, library, name, seed):
+    circuit = _bench(name, library)
+    faults = mixed_fault_list(circuit, library, seed=seed, per_kind=6)
+    batch = PatternBatch.random(circuit, 200, seed=seed)
+    _assert_identical(circuit, cells, faults, batch)
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_run_atpg_backend_bit_identity(cells, library, seed):
+    """Equal batch_size ⇒ the whole ATPG result matches across backends."""
+    circuit = random_mapped_circuit(cells, seed=seed)
+    faults = mixed_fault_list(circuit, library, seed=seed)
+    event = run_atpg(
+        circuit, cells, faults, seed=seed, batch_size=64, backend="event"
+    )
+    wide = run_atpg(
+        circuit, cells, faults, seed=seed, batch_size=64, backend="wide"
+    )
+    assert event.detected == wide.detected
+    assert event.undetectable == wide.undetectable
+    assert event.aborted == wide.aborted
+    assert event.tests == wide.tests
+    assert event.coverage == wide.coverage
+    assert wide.stats.wide_batches > 0
+    assert event.stats.wide_batches == 0
+
+
+def test_detected_by_patterns_chunks_at_wide_capacity(
+    cells, library, monkeypatch
+):
+    """A long pair list rides few wide passes, same flags as event."""
+    monkeypatch.setenv("REPRO_SIM_WORDS", "2")  # capacity 128
+    circuit = random_mapped_circuit(cells, seed=4)
+    faults = mixed_fault_list(circuit, library, seed=4)
+    gen = PatternBatch.random(circuit, 300, seed=11)
+    pairs = [
+        (
+            {pi: (gen.frame1[pi] >> i) & 1 for pi in circuit.inputs},
+            {pi: (gen.frame2[pi] >> i) & 1 for pi in circuit.inputs},
+        )
+        for i in range(300)
+    ]
+    event = detected_by_patterns(circuit, cells, faults, pairs, backend="event")
+    stats = EngineStats()
+    wide = detected_by_patterns(
+        circuit, cells, faults, pairs, backend="wide", stats=stats
+    )
+    assert event == wide
+    assert stats.wide_batches == 3  # ceil(300 / 128)
+    assert stats.words_per_batch == 2
+
+
+def test_env_dispatch_selects_wide_backend(cells, library, monkeypatch):
+    """REPRO_SIM_BACKEND=wide reroutes fault_simulate without call changes."""
+    circuit = random_mapped_circuit(cells, seed=5)
+    faults = mixed_fault_list(circuit, library, seed=5)
+    batch = PatternBatch.random(circuit, 64, seed=5)
+    baseline = fault_simulate(circuit, cells, faults, batch)
+
+    monkeypatch.setenv("REPRO_SIM_BACKEND", "wide")
+    stats = EngineStats()
+    rerouted = fault_simulate(circuit, cells, faults, batch, stats=stats)
+    assert rerouted == baseline
+    assert stats.wide_batches == 1
+
+    monkeypatch.setenv("REPRO_SIM_BACKEND", "sideways")
+    with pytest.raises(ValueError, match="unknown simulation backend"):
+        fault_simulate(circuit, cells, faults, batch)
+
+
+def test_wide_word_sizing_and_validation(cells, library):
+    circuit = random_mapped_circuit(cells, seed=6)
+    faults = mixed_fault_list(circuit, library, seed=6)
+    batch = PatternBatch.random(circuit, 100, seed=6)
+    # Explicit oversizing is allowed (extra words are masked out) ...
+    narrow = wide_fault_simulate(circuit, cells, faults, batch, words=2)
+    padded = wide_fault_simulate(circuit, cells, faults, batch, words=5)
+    assert narrow == padded
+    # ... but undersizing is an explicit error, not silent truncation.
+    with pytest.raises(ValueError, match="100"):
+        wide_fault_simulate(circuit, cells, faults, batch, words=1)
+
+
+@pytest.mark.parametrize(
+    "batch_size,backend",
+    [(0, "event"), (-3, "wide"), (65, "event"), (4097, "wide")],
+)
+def test_run_atpg_rejects_bad_batch_size(cells, library, batch_size, backend):
+    circuit = random_mapped_circuit(cells, seed=7)
+    faults = mixed_fault_list(circuit, library, seed=7, per_kind=2)
+    with pytest.raises(ValueError, match="batch_size"):
+        run_atpg(
+            circuit, cells, faults, batch_size=batch_size, backend=backend
+        )
