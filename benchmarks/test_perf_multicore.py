@@ -1,0 +1,236 @@
+"""Performance harness for process-parallel fault sharding.
+
+Benchmarks ``fault_simulate(exec_mode="process")`` against the serial
+wide path on the ATPG random-phase workload: the same wide batch either
+runs single-core or is LPT-sharded across ``multiprocessing`` workers
+attached to the batch's shared-memory good-value block.  The detect
+words must be bit-identical in every configuration — the scaling is
+only meaningful if the sharded run agrees bit for bit — and a
+trajectory point is appended to
+``benchmarks/results/BENCH_multicore.json``.
+
+Scaling floors are enforced only when the machine actually has the
+cores: a floor at *W* workers applies iff ``len(os.sched_getaffinity)``
+is at least *W* (a 1-CPU container records honest numbers but cannot
+fail a multi-core floor it physically cannot meet; the 4-core CI
+runners enforce it).  Every trajectory point records the effective CPU
+count alongside the timings so the JSON is interpretable later.
+
+Run with:
+``PYTHONPATH=src python -m pytest benchmarks/test_perf_multicore.py -s``
+
+Knobs: ``REPRO_PERF_MC_CIRCUITS`` (default ``aes_core,sparc_tlu``),
+``REPRO_PERF_MC_PATTERNS`` (patterns per pass, default 4096),
+``REPRO_PERF_MC_FAULTS`` (fault-sample cap, default 400),
+``REPRO_PERF_MC_WORKERS`` (comma-separated worker counts, default 2,4),
+``REPRO_PERF_MC_MIN_SPEEDUP`` (floor override for every circuit).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from typing import Dict, List, Tuple
+
+import pytest
+
+from benchmarks.conftest import emit_report, get_library
+from repro.bench import build_benchmark
+from repro.faults import psim
+from repro.faults.fsim import PatternBatch, fault_simulate
+from repro.faults.model import (
+    FALL,
+    RISE,
+    BridgingFault,
+    Fault,
+    StuckAtFault,
+    TransitionFault,
+)
+from repro.faults.sites import enumerate_internal_faults
+from repro.netlist.simulator import CompiledCircuit
+from repro.utils.observability import EngineStats
+
+pytestmark = [pytest.mark.perf, pytest.mark.slow]
+
+CIRCUITS = [
+    name.strip()
+    for name in os.environ.get(
+        "REPRO_PERF_MC_CIRCUITS", "aes_core,sparc_tlu"
+    ).split(",")
+    if name.strip()
+]
+N_PATTERNS = int(os.environ.get("REPRO_PERF_MC_PATTERNS", "4096"))
+N_FAULTS = int(os.environ.get("REPRO_PERF_MC_FAULTS", "400"))
+WORKER_COUNTS = [
+    int(tok)
+    for tok in os.environ.get("REPRO_PERF_MC_WORKERS", "2,4").split(",")
+    if tok.strip()
+]
+
+# The ISSUE's acceptance floor: >= 2.5x at 4 workers on aes_core.
+# Other (circuit, workers) points only have to not collapse below the
+# serial path.  Floors apply only when the CPUs exist (see module doc).
+_FLOOR_OVERRIDE = os.environ.get("REPRO_PERF_MC_MIN_SPEEDUP")
+MIN_SPEEDUP: Dict[Tuple[str, int], float] = {
+    ("aes_core", 4): 2.5,
+    ("aes_core", 2): 1.3,
+}
+
+
+def _effective_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _min_speedup(name: str, workers: int) -> float:
+    if _FLOOR_OVERRIDE:
+        return float(_FLOOR_OVERRIDE)
+    return MIN_SPEEDUP.get((name, workers), 0.8)
+
+
+def _workload(name: str) -> Tuple[object, Dict, List[Fault], PatternBatch]:
+    library = get_library()
+    cells = {c.name: c for c in library}
+    circuit = build_benchmark(name, library)
+    rng = random.Random(2026)
+    faults: List[Fault] = list(enumerate_internal_faults(circuit, library))
+    nets = list(circuit.inputs) + [g.output for g in circuit.gates.values()]
+    for net in rng.sample(nets, min(120, len(nets))):
+        faults.append(StuckAtFault(f"sa0:{net}", "g", net=net, value=0))
+        faults.append(StuckAtFault(f"sa1:{net}", "g", net=net, value=1))
+        faults.append(TransitionFault(f"tr:{net}", "g", net=net, slow_to=RISE))
+        faults.append(TransitionFault(f"tf:{net}", "g", net=net, slow_to=FALL))
+    for k in range(60):
+        victim, aggressor = rng.sample(nets, 2)
+        faults.append(
+            BridgingFault(f"br{k}", "g", victim=victim, aggressor=aggressor)
+        )
+    if len(faults) > N_FAULTS:
+        faults = rng.sample(faults, N_FAULTS)
+    batch = PatternBatch.random(circuit, N_PATTERNS, seed=7)
+    return circuit, cells, faults, batch
+
+
+def _clear_good_cache(circuit, cells) -> None:
+    """Make every timing repeat pay its good simulations."""
+    plan = CompiledCircuit.get(circuit, cells)
+    plan.good_cache.clear()
+    plan.good_sums.clear()
+
+
+def _time(fn, circuit, cells, repeats: int = 2):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        _clear_good_cache(circuit, cells)
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _bench_one(name: str) -> dict:
+    circuit, cells, faults, batch = _workload(name)
+
+    def run_serial() -> List[int]:
+        return fault_simulate(
+            circuit, cells, faults, batch,
+            workers=1, backend="wide", exec_mode="serial",
+        )
+
+    t_serial, serial_words = _time(run_serial, circuit, cells)
+
+    points = []
+    for workers in WORKER_COUNTS:
+        stats = EngineStats()
+
+        def run_proc() -> List[int]:
+            return fault_simulate(
+                circuit, cells, faults, batch,
+                workers=workers, backend="wide", exec_mode="process",
+                stats=stats,
+            )
+
+        # Warm the worker pool first: one ATPG run issues dozens of
+        # batches against a pool forked once, so steady-state batch
+        # cost — not the one-time fork — is the number that matters.
+        run_proc()
+        t_proc, proc_words = _time(run_proc, circuit, cells)
+
+        # Correctness gate: sharded detect words must be bit-identical.
+        assert proc_words == serial_words
+        assert not stats.warnings, stats.warnings
+
+        speedup = t_serial / t_proc if t_proc else float("inf")
+        points.append({
+            "workers": workers,
+            "process_seconds": round(t_proc, 4),
+            "speedup": round(speedup, 2),
+            "min_speedup": _min_speedup(name, workers),
+            "shard_imbalance": round(stats.shard_imbalance, 3),
+            "shm_bytes_per_batch": stats.shm_bytes // max(stats.batches, 1),
+        })
+
+    return {
+        "circuit": name,
+        "gates": len(circuit),
+        "faults": len(faults),
+        "patterns": batch.n,
+        "serial_seconds": round(t_serial, 4),
+        "workers": points,
+    }
+
+
+def test_multicore_scaling_and_equivalence():
+    cpus = _effective_cpus()
+    rows = [_bench_one(name) for name in CIRCUITS]
+    psim.shutdown_pools()
+
+    point = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "patterns_per_pass": N_PATTERNS,
+        "cpus": cpus,
+        "circuits": rows,
+    }
+    results_dir = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(results_dir, exist_ok=True)
+    path = os.path.join(results_dir, "BENCH_multicore.json")
+    trajectory: List[dict] = []
+    if os.path.exists(path):
+        with open(path) as fh:
+            trajectory = json.load(fh)
+    trajectory.append(point)
+    with open(path, "w") as fh:
+        json.dump(trajectory, fh, indent=2)
+        fh.write("\n")
+
+    lines = [
+        f"multicore perf at {N_PATTERNS} patterns/pass, wide backend, "
+        f"{cpus} effective CPU(s)"
+    ]
+    for row in rows:
+        for pt in row["workers"]:
+            enforced = cpus >= pt["workers"]
+            lines.append(
+                f"  {row['circuit']:>10} ({row['gates']} gates, "
+                f"{row['faults']} faults) x{pt['workers']}: "
+                f"serial {row['serial_seconds']:.3f}s, "
+                f"process {pt['process_seconds']:.3f}s -> "
+                f"{pt['speedup']:.2f}x (floor {pt['min_speedup']:.1f}x"
+                f"{'' if enforced else ', not enforced: too few CPUs'})"
+            )
+    emit_report("BENCH_multicore", "\n".join(lines))
+
+    for row in rows:
+        for pt in row["workers"]:
+            if cpus < pt["workers"]:
+                continue  # floor needs cores this machine does not have
+            assert pt["speedup"] >= pt["min_speedup"], (
+                f"{row['circuit']} at {pt['workers']} workers: expected "
+                f">= {pt['min_speedup']}x over serial wide on a "
+                f"{cpus}-CPU machine, got {pt['speedup']:.2f}x"
+            )

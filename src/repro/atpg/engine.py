@@ -41,7 +41,13 @@ from repro.faults.fsim import PatternBatch, fault_simulate
 from repro.faults.model import Fault
 from repro.library.cell import StandardCell
 from repro.netlist.circuit import Circuit
-from repro.netlist.vsim import BACKEND_EVENT, batch_capacity, resolve_backend
+from repro.netlist.vsim import (
+    BACKEND_EVENT,
+    batch_capacity,
+    resolve_backend,
+    resolve_exec,
+    resolve_workers,
+)
 from repro.utils.observability import EngineStats
 from repro.utils.rng import make_rng
 
@@ -114,10 +120,11 @@ def run_atpg(
     initial_tests: Optional[Sequence[TestPair]] = None,
     assume_undetectable: Optional[AbstractSet] = None,
     assume_detected: Optional[AbstractSet] = None,
-    workers: int = 1,
+    workers: Optional[int] = None,
     stats: Optional[EngineStats] = None,
     budget: Optional[AtpgBudget] = None,
     backend: Optional[str] = None,
+    exec_mode: Optional[str] = None,
 ) -> AtpgResult:
     """Classify *faults* on *circuit* and build a test set.
 
@@ -160,18 +167,25 @@ def run_atpg(
     inheritance safe to apply blindly; only behaviour classes with novel
     keys (the changed region's cone) are re-proved.
 
-    *workers* > 1 fault-partitions every fault-simulation batch across a
-    thread pool; the classification and test set are bit-identical to a
-    serial run with the same seed.  Engine effort counters and per-phase
-    wall times are recorded on ``result.stats`` (pass *stats* to
-    accumulate into a caller-owned instance instead).
+    *workers* > 1 fault-partitions every fault-simulation batch the
+    driver runs; *exec_mode* selects how (``"thread"`` pools,
+    ``"process"`` workers over shared-memory arrays, ``"auto"`` —
+    threads for the event backend, processes for the wide backend — or
+    ``"serial"``; see :func:`repro.faults.fsim.fault_simulate`).  Both
+    default to the ``REPRO_SIM_WORKERS`` / ``REPRO_SIM_EXEC``
+    environment.  The classification and test set are bit-identical to
+    a serial run with the same seed in every mode.  Engine effort
+    counters and per-phase wall times are recorded on ``result.stats``
+    (pass *stats* to accumulate into a caller-owned instance instead).
     """
     start = time.perf_counter()
-    # Resolve the backend once so a mid-run environment change cannot
-    # split the run across backends, then validate batch_size against
-    # the resolved backend's pattern capacity (satellite: explicit
-    # validation instead of silent truncation).
+    # Resolve the backend and execution mode once so a mid-run
+    # environment change cannot split the run across backends or modes,
+    # then validate batch_size against the resolved backend's pattern
+    # capacity (explicit validation instead of silent truncation).
     backend = resolve_backend(backend)
+    workers = resolve_workers(workers)
+    exec_mode = resolve_exec(exec_mode)
     capacity = batch_capacity(backend)
     if batch_size is None:
         batch_size = capacity if backend != BACKEND_EVENT else 64
@@ -226,6 +240,7 @@ def run_atpg(
                 words = fault_simulate(
                     circuit, cells, remaining, batch,
                     workers=workers, stats=stats, backend=backend,
+                    exec_mode=exec_mode,
                 )
                 used: Dict[int, TestPair] = {}
                 still: List[Fault] = []
@@ -251,6 +266,7 @@ def run_atpg(
             words = fault_simulate(
                 circuit, cells, remaining, batch,
                 workers=workers, stats=stats, backend=backend,
+                    exec_mode=exec_mode,
             )
             new_pairs: Dict[int, TestPair] = {}
             still: List[Fault] = []
@@ -319,6 +335,7 @@ def run_atpg(
                 words = fault_simulate(
                     circuit, cells, todo, batch,
                     workers=workers, stats=stats, backend=backend,
+                    exec_mode=exec_mode,
                 )
                 for f, w in zip(todo, words):
                     if w:
@@ -375,6 +392,7 @@ def run_atpg(
             tests = compact_tests(
                 circuit, cells, detected_rep_faults, tests,
                 workers=workers, stats=stats, backend=backend,
+                exec_mode=exec_mode,
             )
     result.tests = tests
     result.runtime = time.perf_counter() - start

@@ -176,11 +176,12 @@ def analyze_design(
     assume_undetectable: Optional[set] = None,
     assume_detected: Optional[set] = None,
     physical: Optional[PhysicalDesign] = None,
-    workers: int = 1,
+    workers: Optional[int] = None,
     prev: Optional[DesignState] = None,
     internal_atpg: Optional[AtpgResult] = None,
     stats: Optional[EngineStats] = None,
     budget: Optional[AtpgBudget] = None,
+    exec_mode: Optional[str] = None,
 ) -> DesignState:
     """Run physical design + DFM fault extraction + ATPG + clustering.
 
@@ -212,7 +213,10 @@ def analyze_design(
     ATPG work is not repeated.
 
     *workers* > 1 parallelizes the fault-simulation batches inside ATPG
-    (results stay bit-identical to a serial run).  Per-stage wall times
+    and *exec_mode* selects how — thread pools, shared-memory process
+    workers, or serial (defaults: ``REPRO_SIM_WORKERS`` /
+    ``REPRO_SIM_EXEC``; results stay bit-identical to a serial run in
+    every mode).  Per-stage wall times
     land in ``DesignState.timings``; engine counters in
     ``DesignState.stats`` (pass *stats* to accumulate into a
     caller-owned instance).
@@ -276,6 +280,7 @@ def analyze_design(
         workers=workers,
         stats=stats,
         budget=budget,
+        exec_mode=exec_mode,
     )
     timings["atpg"] = time.perf_counter() - t0
     t0 = time.perf_counter()
@@ -307,9 +312,10 @@ def classify_internal(
     atpg_seed: int = 0,
     assume_undetectable: Optional[set] = None,
     assume_detected: Optional[set] = None,
-    workers: int = 1,
+    workers: Optional[int] = None,
     stats: Optional[EngineStats] = None,
     budget: Optional[AtpgBudget] = None,
+    exec_mode: Optional[str] = None,
 ) -> AtpgResult:
     """Classify the internal faults of the bare netlist (no compaction).
 
@@ -329,6 +335,7 @@ def classify_internal(
         workers=workers,
         stats=stats,
         budget=budget,
+        exec_mode=exec_mode,
     )
 
 
@@ -339,7 +346,8 @@ def count_undetectable_internal(
     atpg_seed: int = 0,
     assume_undetectable: Optional[set] = None,
     assume_detected: Optional[set] = None,
-    workers: int = 1,
+    workers: Optional[int] = None,
+    exec_mode: Optional[str] = None,
 ) -> int:
     """Number of undetectable internal faults of the bare netlist."""
     atpg = classify_internal(
@@ -348,5 +356,6 @@ def count_undetectable_internal(
         assume_undetectable=assume_undetectable,
         assume_detected=assume_detected,
         workers=workers,
+        exec_mode=exec_mode,
     )
     return len(atpg.undetectable)

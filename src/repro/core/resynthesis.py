@@ -89,7 +89,11 @@ class ResynthesisConfig:
     guidelines: Optional[Sequence[Guideline]] = None
     # Performance knobs — none of these change any produced result
     # (accepted trace, verdicts, clusters); they only move work around.
-    workers: int = 1  # fault-simulation threads inside the engine
+    workers: int = 1  # fault-simulation workers inside the engine
+    # How fault-simulation batches execute at workers > 1: "thread",
+    # "process" (shared-memory multi-core, repro.faults.psim), "auto"
+    # or "serial"; None defers to REPRO_SIM_EXEC.
+    exec_mode: Optional[str] = None
     speculation: Optional[int] = None  # stage-1 evals in flight (None -> workers)
     incremental: bool = True  # cone-scoped incremental re-analysis
     candidate_cache_size: int = 256  # retained candidate evaluations
@@ -221,6 +225,7 @@ class _Evaluation:
                 assume_undetectable=undet,
                 assume_detected=det if driver.cfg.incremental else None,
                 workers=driver.cfg.workers,
+                exec_mode=driver.cfg.exec_mode,
                 stats=driver.stats.engine,
             )
         return (
@@ -241,6 +246,7 @@ class _Evaluation:
                     prev=state,
                     internal_atpg=self.internal_atpg,
                     workers=driver.cfg.workers,
+                    exec_mode=driver.cfg.exec_mode,
                     stats=driver.stats.engine,
                 )
             else:
@@ -252,6 +258,7 @@ class _Evaluation:
                     assume_undetectable=undet,
                     physical=self.physical,
                     workers=driver.cfg.workers,
+                    exec_mode=driver.cfg.exec_mode,
                     stats=driver.stats.engine,
                 )
         return self.cand_state
@@ -576,7 +583,7 @@ def resynthesize_for_coverage(
     orig = analyze_design(
         circuit, library, seed=cfg.seed, utilization=cfg.utilization,
         guidelines=cfg.guidelines, atpg_seed=cfg.seed,
-        workers=cfg.workers, stats=stats.engine,
+        workers=cfg.workers, exec_mode=cfg.exec_mode, stats=stats.engine,
     )
     baseline = time.perf_counter() - t0
     driver = _Resynthesizer(library, orig, cfg, stats=stats)

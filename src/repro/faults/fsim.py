@@ -23,8 +23,10 @@ resolution, load lists) is hoisted into a cached
 as dense integer indices, and good-machine values are served from a
 per-plan LRU so re-simulating a previously seen pattern batch skips the
 good simulation entirely.  ``workers=N`` fault-partitions a batch across
-a thread pool — chunks are balanced by output-cone size and merged by
-fault index, so results are bit-identical to the serial path.
+a thread pool or — with ``exec_mode="process"`` / ``REPRO_SIM_EXEC`` —
+across shared-memory worker processes (:mod:`repro.faults.psim`); in
+both modes chunks are balanced by output-cone size and merged by fault
+index, so results are bit-identical to the serial path.
 
 :func:`fault_simulate` is also the dispatch point for the *wide* numpy
 backend (:mod:`repro.faults.vfsim`): pass ``backend="wide"`` or set
@@ -54,11 +56,17 @@ from repro.netlist.simulator import CompiledCircuit
 from repro.netlist.vsim import (
     BACKEND_EVENT,
     BACKEND_WIDE,
+    EXEC_AUTO,
+    EXEC_PROCESS,
+    EXEC_SERIAL,
+    EXEC_THREAD,
     batch_capacity,
     resolve_backend,
+    resolve_exec,
+    resolve_workers,
     words_for,
 )
-from repro.utils.observability import EngineStats
+from repro.utils.observability import EngineStats, warn_coded
 from repro.utils.rng import make_rng
 
 # Below this many faults the thread-pool dispatch overhead outweighs any
@@ -406,17 +414,20 @@ def _fault_site_index(plan: CompiledCircuit, fault: Fault) -> Optional[int]:
 
 
 def _partition_faults(
-    ctx: _SimContext, faults: Sequence[Fault], workers: int
+    plan: CompiledCircuit, faults: Sequence[Fault], workers: int
 ) -> List[List[int]]:
     """LPT-partition fault indices into *workers* chunks by cone size.
 
     Deterministic: faults are ordered by (cost desc, index asc) and each
     is assigned to the least-loaded chunk (ties broken by chunk id).
+    Shared by the thread path below and the process-parallel layer
+    (:mod:`repro.faults.psim`), so shard composition is identical in
+    both execution modes.
     """
-    cone = ctx.plan.cone_sizes()
+    cone = plan.cone_sizes()
     costs: List[int] = []
     for fault in faults:
-        idx = _fault_site_index(ctx.plan, fault)
+        idx = _fault_site_index(plan, fault)
         costs.append(cone[idx] if idx is not None else 1)
     order = sorted(range(len(faults)), key=lambda i: (-costs[i], i))
     loads: List[int] = [0] * workers
@@ -437,9 +448,10 @@ def fault_simulate(
     faults: Sequence[Fault],
     batch: PatternBatch,
     *,
-    workers: int = 1,
+    workers: Optional[int] = None,
     stats: Optional[EngineStats] = None,
     backend: Optional[str] = None,
+    exec_mode: Optional[str] = None,
 ) -> List[int]:
     """Per-fault detect words (bit i set = pair i detects the fault).
 
@@ -452,24 +464,79 @@ def fault_simulate(
     pick the wide backend up without changes.  Both backends return
     bit-identical detect words for the same batch.
 
-    With ``workers > 1`` the event backend partitions the fault list
-    across a thread pool (chunks balanced by output-cone size); each
-    fault's simulation is independent and results are merged back by
-    fault index, so the output is bit-identical to the serial path.
-    The wide backend is always serial — vectorization over the pattern
-    dimension replaces fault-partitioned threading.
+    *workers* / *exec_mode* select how a batch's fault universe is
+    partitioned (``None`` defers to ``REPRO_SIM_WORKERS`` /
+    ``REPRO_SIM_EXEC``).  With ``workers > 1``:
+
+    * ``"thread"`` — the event backend fault-partitions across a thread
+      pool (chunks LPT-balanced by output-cone size; GIL-bound but
+      cheap to dispatch).  The wide backend has no thread path — a
+      coded ``MC-THREAD-WIDE`` warning is emitted and the batch runs
+      serial;
+    * ``"process"`` — both backends shard across ``multiprocessing``
+      workers that attach the batch's good-value arrays from a
+      shared-memory block (:mod:`repro.faults.psim`).  If process
+      execution is unavailable (no shared memory, unpicklable faults,
+      no usable start method) a coded warning is emitted and the batch
+      falls back to threads (event) or serial (wide) — never silently;
+    * ``"auto"`` (default) — threads for the event backend, processes
+      for the wide backend;
+    * ``"serial"`` — force the serial path regardless of *workers*.
+
+    Every mode is bit-identical: shards/chunks are deterministic and
+    results are merged back by fault index.
 
     Counter discipline: nothing records into the caller's *stats* while
-    worker threads run.  Every count lands in a private per-call
-    instance (worker threads count into their own chunk contexts, whose
-    event totals are folded in at join, on the dispatching thread), and
+    workers run.  Every count lands in a private per-call instance
+    (thread and process workers count into their own chunk contexts,
+    whose totals are folded in at join, on the dispatching side), and
     the per-call instance is merged into *stats* in one atomic step at
     the end — so a shared EngineStats never loses increments, and the
-    counters of a ``workers=N`` run equal those of a serial run.
+    semantic counters of a parallel run equal those of a serial run.
     """
-    if resolve_backend(backend) == BACKEND_WIDE:
+    backend = resolve_backend(backend)
+    workers = resolve_workers(workers)
+    exec_mode = resolve_exec(exec_mode)
+    parallel_ok = (
+        workers > 1
+        and len(faults) >= max(_MIN_PARALLEL_FAULTS, workers)
+        and exec_mode != EXEC_SERIAL
+    )
+    want_process = parallel_ok and (
+        exec_mode == EXEC_PROCESS
+        or (exec_mode == EXEC_AUTO and backend == BACKEND_WIDE)
+    )
+    if want_process:
+        from repro.faults.psim import (
+            ProcessExecUnavailable,
+            process_fault_simulate,
+        )
+
+        try:
+            return process_fault_simulate(
+                circuit, cells, faults, batch,
+                workers=workers, backend=backend, stats=stats,
+            )
+        except ProcessExecUnavailable as exc:
+            # Graceful but *announced* degradation: the caller asked for
+            # (or auto-resolved to) processes and is getting threads or
+            # a serial pass instead.
+            fallback = "threads" if backend == BACKEND_EVENT else "serial"
+            warn_coded(
+                stats, exc.code,
+                f"process execution unavailable ({exc}); "
+                f"falling back to {fallback}",
+            )
+    if backend == BACKEND_WIDE:
         from repro.faults.vfsim import wide_fault_simulate
 
+        if parallel_ok and exec_mode == EXEC_THREAD:
+            warn_coded(
+                stats, "MC-THREAD-WIDE",
+                "the wide backend has no thread path (vectorization "
+                "replaces fault-partitioned threading); running serial —"
+                " use exec_mode='process' for multi-core wide batches",
+            )
         return wide_fault_simulate(
             circuit, cells, faults, batch, stats=stats
         )
@@ -477,14 +544,14 @@ def fault_simulate(
     ctx = _make_context(circuit, cells, batch, stats=local)
     local.batches += 1
     local.faults_simulated += len(faults)
-    if workers <= 1 or len(faults) < max(_MIN_PARALLEL_FAULTS, workers):
+    if not parallel_ok:
         results = [_simulate_one(ctx, fault) for fault in faults]
         local.events_propagated += ctx.events
         if stats is not None:
             stats.merge(local)
         return results
 
-    chunks = _partition_faults(ctx, faults, workers)
+    chunks = _partition_faults(ctx.plan, faults, workers)
     results: List[int] = [0] * len(faults)
     local.events_propagated += ctx.events
 
@@ -510,9 +577,10 @@ def detected_by_patterns(
     faults: Sequence[Fault],
     pairs: Sequence[Tuple[Mapping[str, int], Mapping[str, int]]],
     *,
-    workers: int = 1,
+    workers: Optional[int] = None,
     stats: Optional[EngineStats] = None,
     backend: Optional[str] = None,
+    exec_mode: Optional[str] = None,
 ) -> List[bool]:
     """Convenience wrapper: which faults do these test pairs detect?
 
@@ -529,7 +597,7 @@ def detected_by_patterns(
         batch = PatternBatch.from_pairs(circuit, pairs[start:start + word])
         words = fault_simulate(
             circuit, cells, faults, batch, workers=workers, stats=stats,
-            backend=backend,
+            backend=backend, exec_mode=exec_mode,
         )
         for i, w in enumerate(words):
             if w:

@@ -296,6 +296,21 @@ def _simulate_one_wide(ctx: _WideContext, fault: Fault) -> int:
     raise TypeError(type(fault).__name__)
 
 
+def wide_batch_key(plan: CompiledCircuit, batch, words: int) -> tuple:
+    """Good-value LRU key of one wide batch (backend-tagged, word-counted).
+
+    Shared with the process-parallel layer (:mod:`repro.faults.psim`):
+    the parent process keys its good-value lookup exactly like the
+    serial wide path, so a process-parallel run and a serial run of the
+    same batch hit the same cache entry.
+    """
+    return (
+        "wide", words, batch.n,
+        tuple(batch.frame1.get(pi, 0) for pi in plan.pi_order),
+        tuple(batch.frame2.get(pi, 0) for pi in plan.pi_order),
+    )
+
+
 def wide_fault_simulate(
     circuit: Circuit,
     cells: Mapping[str, StandardCell],
@@ -329,11 +344,7 @@ def wide_fault_simulate(
             f"but the batch has {batch.n}"
         )
     mask = wide_mask(batch.n, words)
-    batch_key = (
-        "wide", words, batch.n,
-        tuple(batch.frame1.get(pi, 0) for pi in plan.pi_order),
-        tuple(batch.frame2.get(pi, 0) for pi in plan.pi_order),
-    )
+    batch_key = wide_batch_key(plan, batch, words)
     good1, good2 = wide_good_values(
         plan, batch_key, (batch.frame1, batch.frame2), mask, words,
         stats=local,

@@ -23,7 +23,13 @@ hold for both representations.
 Environment knobs:
 
 * ``REPRO_SIM_BACKEND`` — default simulation backend (``event``/``wide``);
-* ``REPRO_SIM_WORDS`` — wide batch capacity in 64-bit words (default 64).
+* ``REPRO_SIM_WORDS`` — wide batch capacity in 64-bit words (default 64);
+* ``REPRO_SIM_WORKERS`` — default fault-partition worker count for call
+  sites that do not pass ``workers=`` explicitly (default 1);
+* ``REPRO_SIM_EXEC`` — default execution mode for ``workers > 1``:
+  ``serial`` / ``thread`` / ``process`` / ``auto`` (default ``auto``:
+  threads for the event backend, shared-memory processes for the wide
+  backend — see :mod:`repro.faults.psim`).
 """
 
 from __future__ import annotations
@@ -62,6 +68,41 @@ def resolve_backend(backend: Optional[str] = None) -> str:
             f"unknown simulation backend {backend!r}; expected one of {_BACKENDS}"
         )
     return backend
+
+
+EXEC_SERIAL = "serial"
+EXEC_THREAD = "thread"
+EXEC_PROCESS = "process"
+EXEC_AUTO = "auto"
+_EXEC_MODES = (EXEC_SERIAL, EXEC_THREAD, EXEC_PROCESS, EXEC_AUTO)
+
+
+def resolve_exec(exec_mode: Optional[str] = None) -> str:
+    """Normalize an execution-mode choice; ``None`` falls back to the env.
+
+    ``REPRO_SIM_EXEC`` is read at call time for the same reason as
+    ``REPRO_SIM_BACKEND``: campaigns and the resynthesis loop pick the
+    mode up without call-site changes, and tests can monkeypatch it.
+    """
+    if exec_mode is None:
+        exec_mode = (
+            os.environ.get("REPRO_SIM_EXEC", "").strip() or EXEC_AUTO
+        )
+    if exec_mode not in _EXEC_MODES:
+        raise ValueError(
+            f"unknown execution mode {exec_mode!r}; "
+            f"expected one of {_EXEC_MODES}"
+        )
+    return exec_mode
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Worker count; ``None`` falls back to ``REPRO_SIM_WORKERS`` (1)."""
+    if workers is None:
+        workers = int(os.environ.get("REPRO_SIM_WORKERS", "1"))
+    if workers < 1:
+        raise ValueError(f"workers must be at least 1, got {workers}")
+    return workers
 
 
 def resolve_words(words: Optional[int] = None) -> int:

@@ -94,6 +94,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--workers", type=int, default=1)
     run.add_argument(
+        "--exec-mode", default=None,
+        choices=("serial", "thread", "process", "auto"),
+        help="how fault-simulation batches execute at workers > 1 "
+             "(default: REPRO_SIM_EXEC, falling back to auto)",
+    )
+    run.add_argument(
         "--variants", type=_csv, default=("full",),
         help="library variants (full, drop<k>, exclude:<a>,<b>)",
     )
@@ -164,6 +170,7 @@ def _cmd_run(args) -> int:
             scale=args.scale,
             seed=args.seed,
             workers=args.workers,
+            exec_mode=args.exec_mode,
             variants=args.variants,
             isolation=args.isolation,
             timeout=args.timeout,

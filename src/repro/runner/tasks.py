@@ -88,6 +88,18 @@ def _circuit_params(params: Mapping[str, object]) -> Tuple[str, int, str]:
     )
 
 
+def _workers_param(params: Mapping[str, object]):
+    """``workers`` campaign parameter; absent defers to REPRO_SIM_WORKERS.
+
+    Worker count and execution mode are pure performance knobs (results
+    are bit-identical in every mode), so they are *not* part of task
+    fingerprints — a resumed run may legitimately use a different
+    machine's parallelism.
+    """
+    value = params.get("workers")
+    return None if value is None else int(value)
+
+
 def _circuit_fingerprint(params: Mapping[str, object]) -> object:
     """Structural hash of the built circuit + the variant's cell list."""
     from repro.runner.model import structural_circuit_hash
@@ -114,7 +126,8 @@ def analyze_task(params: Mapping[str, object], ctx: TaskContext) -> dict:
         seed=int(params.get("seed", 0)),
         utilization=float(params.get("utilization", 0.70)),
         atpg_seed=int(params.get("seed", 0)),
-        workers=int(params.get("workers", 1)),
+        workers=_workers_param(params),
+        exec_mode=params.get("exec_mode"),
     )
     if ctx.store is not None:
         ctx.store[f"analysis:{variant}:{name}"] = state
@@ -155,7 +168,8 @@ def resynthesize_task(params: Mapping[str, object], ctx: TaskContext) -> dict:
         ),
         seed=int(params.get("seed", 0)),
         utilization=float(params.get("utilization", 0.70)),
-        workers=int(params.get("workers", 1)),
+        workers=_workers_param(params) or 1,
+        exec_mode=params.get("exec_mode"),
     )
     result = resynthesize_for_coverage(circuit, library, config)
     if ctx.store is not None:
@@ -289,6 +303,7 @@ def paper_campaign(
     scale: int = 1,
     seed: int = 0,
     workers: int = 1,
+    exec_mode: str = None,
     variants: Tuple[str, ...] = ("full",),
     isolation: str = "inline",
     timeout: float = None,
@@ -312,6 +327,8 @@ def paper_campaign(
         for name in circuits:
             base = {"circuit": name, "scale": scale, "seed": seed,
                     "workers": workers, "variant": variant}
+            if exec_mode is not None:
+                base["exec_mode"] = exec_mode
             if 1 in tables and 2 not in tables:
                 specs.append(TaskSpec(
                     task_id=f"analyze:{variant}:{name}", kind="analyze",
@@ -342,6 +359,7 @@ def paper_campaign(
             "scale": scale,
             "seed": seed,
             "workers": workers,
+            "exec_mode": exec_mode,
             "variants": list(variants),
         },
     )

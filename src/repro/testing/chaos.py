@@ -59,6 +59,13 @@ class ChaosConfig:
       hit before it is served (0 disables).  Installing a corrupting
       injector force-enables cache integrity checking so the corruption
       is caught rather than silently served;
+    * ``corrupt_shm_every`` — flip a bit in every Nth shared-memory
+      good-value block after the parent checksums it and before the
+      process workers attach (0 disables).  The workers' CRC
+      verification must catch it: the parent rebuilds the block once
+      from its pristine arrays (results stay bit-identical), and a
+      persistently rotten block surfaces as an explicit
+      :class:`~repro.faults.psim.SharedMemoryCorruption`;
     * ``fail_analyze_at`` — raise :class:`ChaosError` on the Nth
       ``flow.analyze`` call (1-based; 0 disables).
     """
@@ -67,6 +74,7 @@ class ChaosConfig:
     sat_abort_rate: float = 0.0
     sat_abort_calls: FrozenSet[int] = frozenset()
     corrupt_good_cache_every: int = 0
+    corrupt_shm_every: int = 0
     fail_analyze_at: int = 0
 
     @classmethod
@@ -103,7 +111,10 @@ class ChaosConfig:
                 kwargs[key] = frozenset(
                     int(tok) for tok in value.split(":") if tok
                 )
-            elif key in ("seed", "corrupt_good_cache_every", "fail_analyze_at"):
+            elif key in (
+                "seed", "corrupt_good_cache_every", "corrupt_shm_every",
+                "fail_analyze_at",
+            ):
                 kwargs[key] = int(value)
             else:
                 raise ValueError(f"REPRO_CHAOS: unknown key {key!r}")
@@ -118,6 +129,8 @@ class ChaosCounters:
     aborts_injected: int = 0
     cache_hits_seen: int = 0
     corruptions_injected: int = 0
+    shm_blocks_seen: int = 0
+    shm_corruptions_injected: int = 0
     analyze_calls: int = 0
     failures_raised: int = 0
 
@@ -177,6 +190,21 @@ class ChaosInjector:
         plan.good_cache[batch_key] = rotten  # type: ignore[attr-defined]
         self.counters.corruptions_injected += 1
 
+    def _on_shm_block(
+        self, block: object = None, view: object = None, **_: object
+    ) -> None:
+        cfg = self.config
+        self.counters.shm_blocks_seen += 1
+        if not cfg.corrupt_shm_every:
+            return
+        if self.counters.shm_blocks_seen % cfg.corrupt_shm_every:
+            return
+        # The CRC is already recorded on the block, so this models rot
+        # between the parent's write and a worker's read: every worker
+        # must detect the mismatch on attach.
+        view[view.shape[0] // 2, view.shape[1] // 2] ^= 1  # type: ignore[index]
+        self.counters.shm_corruptions_injected += 1
+
     def _on_analyze(self, **_: object) -> None:
         cfg = self.config
         self.counters.analyze_calls += 1
@@ -199,6 +227,8 @@ class ChaosInjector:
             # exactly the silent failure this harness exists to rule out.
             self._prev_integrity = set_cache_integrity(True)
             seams.register("fsim.good_cache_hit", self._on_cache_hit)
+        if cfg.corrupt_shm_every:
+            seams.register("fsim.shm_block", self._on_shm_block)
         if cfg.fail_analyze_at:
             seams.register("flow.analyze", self._on_analyze)
         self._installed = True
@@ -209,6 +239,7 @@ class ChaosInjector:
             return
         seams.unregister("atpg.decide")
         seams.unregister("fsim.good_cache_hit")
+        seams.unregister("fsim.shm_block")
         seams.unregister("flow.analyze")
         if self._prev_integrity is not None:
             set_cache_integrity(self._prev_integrity)

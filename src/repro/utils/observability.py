@@ -17,9 +17,10 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings as _pywarnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Optional
 
 # All duration measurements in the engine go through time.perf_counter():
 # it is monotonic (wall clock adjustments cannot produce negative phase
@@ -66,6 +67,21 @@ class EngineStats:
       dense cone propagation (the wide analogue of
       ``events_propagated``, which only the event backend records);
     * ``parallel_chunks`` — work chunks dispatched to worker threads;
+    * ``proc_shards`` — fault shards dispatched to *process* workers
+      (the multi-core analogue of ``parallel_chunks``);
+    * ``proc_workers`` — widest process pool used, in workers (a
+      high-water mark like ``words_per_batch``: merged by max);
+    * ``shm_bytes`` — bytes of good-value/pattern arrays placed in
+      ``multiprocessing.shared_memory`` blocks for zero-copy worker
+      attachment;
+    * ``shard_imbalance`` — worst LPT shard balance seen: the largest
+      shard's propagation-cost estimate divided by the ideal (total
+      cost / shards).  1.0 is perfect balance; merged by max;
+    * ``warnings`` — coded execution warnings (e.g. a requested process
+      pool silently falling back to threads would be invisible without
+      this): ``"CODE: message"`` strings, appended via :func:`warn_coded`
+      so callers without a stats instance still see a Python
+      ``RuntimeWarning``;
     * ``sat_calls`` / ``sat_conflicts`` / ``sat_propagations`` — exact
       ATPG solver effort;
     * ``sat_aborts`` — per-fault SAT decisions that ran out of their
@@ -101,6 +117,11 @@ class EngineStats:
     words_per_batch: int = 0
     vector_ops: int = 0
     parallel_chunks: int = 0
+    proc_shards: int = 0
+    proc_workers: int = 0
+    shm_bytes: int = 0
+    shard_imbalance: float = 0.0
+    warnings: List[str] = field(default_factory=list)
     sat_calls: int = 0
     sat_conflicts: int = 0
     sat_propagations: int = 0
@@ -150,6 +171,13 @@ class EngineStats:
         )
         self.vector_ops += other.vector_ops
         self.parallel_chunks += other.parallel_chunks
+        self.proc_shards += other.proc_shards
+        self.proc_workers = max(self.proc_workers, other.proc_workers)
+        self.shm_bytes += other.shm_bytes
+        self.shard_imbalance = max(
+            self.shard_imbalance, other.shard_imbalance
+        )
+        self.warnings.extend(other.warnings)
         self.sat_calls += other.sat_calls
         self.sat_conflicts += other.sat_conflicts
         self.sat_propagations += other.sat_propagations
@@ -183,6 +211,11 @@ class EngineStats:
             "words_per_batch": self.words_per_batch,
             "vector_ops": self.vector_ops,
             "parallel_chunks": self.parallel_chunks,
+            "proc_shards": self.proc_shards,
+            "proc_workers": self.proc_workers,
+            "shm_bytes": self.shm_bytes,
+            "shard_imbalance": self.shard_imbalance,
+            "warnings": list(self.warnings),
             "sat_calls": self.sat_calls,
             "sat_conflicts": self.sat_conflicts,
             "sat_propagations": self.sat_propagations,
@@ -193,6 +226,22 @@ class EngineStats:
             "phase_seconds": dict(self.phase_seconds),
         }
         return out
+
+
+def warn_coded(
+    stats: Optional[EngineStats], code: str, message: str
+) -> None:
+    """Record a coded execution warning on *stats* and as a RuntimeWarning.
+
+    The double emission is deliberate: ``stats.warnings`` makes the
+    event assertable (tests and the runner journal can check that a
+    degraded execution mode *announced* itself), and the Python warning
+    reaches callers that did not pass a stats instance — a requested
+    process pool must never fall back to threads or serial silently.
+    """
+    if stats is not None:
+        stats.warnings.append(f"{code}: {message}")
+    _pywarnings.warn(f"[{code}] {message}", RuntimeWarning, stacklevel=3)
 
 
 @dataclass

@@ -27,6 +27,16 @@ Known seam names (the registry does not enforce this list):
   hit ``batch_key``; a handler may corrupt or replace
   ``plan.good_cache[batch_key]`` to model a rotten cache entry (pair
   with cache integrity checking, which catches and repairs it).
+* ``fsim.shm_block`` — in the parent process, after a shared-memory
+  good-value block is written and checksummed and before any worker
+  attaches (:class:`repro.faults.psim.SharedBatchBlock`), with the
+  ``block`` and a writable numpy ``view`` of it; a handler may corrupt
+  the view to model rot between write and read (the workers' CRC
+  verification must catch it).
+* ``psim.shard`` — in each process worker, before it simulates its
+  fault shard, with the shard's ``indices`` and the worker ``pid``; a
+  handler may kill the process to model a worker death mid-shard
+  (handlers are inherited by fork-started workers).
 * ``flow.analyze`` — inside :func:`repro.core.flow.analyze_design`; a
   handler may raise to model a crash mid-analysis.
 """

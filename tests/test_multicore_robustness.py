@@ -1,0 +1,261 @@
+"""Crash and corruption robustness of the process-parallel layer.
+
+The shared-memory process path must fail *loudly and cleanly*:
+
+* a worker SIGKILLed mid-shard surfaces as :class:`WorkerCrashError`
+  (a clear, retryable error — the runner's per-task retry policy covers
+  it), the broken pool is retired, the shared segment is unlinked, and
+  the very next call recovers with a fresh pool;
+* a corrupted shared good-value block is caught by the workers' CRC
+  verification — repaired once from the parent's pristine arrays with
+  results bit-identical to serial, and raised as
+  :class:`SharedMemoryCorruption` when the corruption persists;
+* every unavailability fallback (no shared memory, unpicklable faults,
+  wide backend under thread mode) announces itself through a coded
+  warning on ``EngineStats.warnings`` *and* a Python ``RuntimeWarning``
+  — never a silent downgrade;
+* no test leaves an orphaned ``/dev/shm/repro_mc_*`` segment behind
+  (the CI leak-check step enforces the same invariant fleet-wide).
+
+These tests install their own seam handlers / chaos injectors, so the
+CI chaos job excludes this file from its environment-injector pass and
+runs it in the clean step instead (same policy as ``test_chaos.py``).
+"""
+
+from __future__ import annotations
+
+import glob
+import multiprocessing
+import os
+import signal
+
+import pytest
+
+from repro.faults import psim
+from repro.faults.fsim import PatternBatch, fault_simulate
+from repro.faults.psim import (
+    ProcessExecUnavailable,
+    SharedMemoryCorruption,
+    WorkerCrashError,
+)
+from repro.faults.model import StuckAtFault
+from repro.testing.chaos import ChaosConfig, chaos
+from repro.utils import seams
+from repro.utils.observability import EngineStats
+from tests.conftest import mixed_fault_list, random_mapped_circuit
+
+
+def _assert_no_shm_leaks():
+    leaked = glob.glob(f"/dev/shm/{psim.SHM_PREFIX}*")
+    assert not leaked, f"orphaned shared segments: {leaked}"
+
+
+@pytest.fixture(autouse=True)
+def _clean_seams_and_segments():
+    yield
+    seams.clear()
+    psim.shutdown_pools()
+    _assert_no_shm_leaks()
+
+
+def _workload(cells, library, seed=40, n=128):
+    circuit = random_mapped_circuit(cells, seed=seed)
+    faults = mixed_fault_list(circuit, library, seed=seed)
+    batch = PatternBatch.random(circuit, n, seed=seed)
+    return circuit, faults, batch
+
+
+@pytest.mark.parametrize("backend", ["event", "wide"])
+def test_worker_killed_mid_shard(cells, library, backend):
+    """SIGKILL in a worker: clean WorkerCrashError, no leak, recovery."""
+    circuit, faults, batch = _workload(cells, library)
+    serial = fault_simulate(
+        circuit, cells, faults, batch, workers=1,
+        backend=backend, exec_mode="serial",
+    )
+
+    def kill_first_shard(indices=None, pid=None, **_):
+        # Fires in the worker (handlers ride along on fork); the guard
+        # keeps a hypothetical parent-side firing harmless.
+        if 0 in indices and multiprocessing.parent_process() is not None:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    # Register before the first process call so the pool's forked
+    # workers inherit the handler.
+    seams.register("psim.shard", kill_first_shard)
+    with pytest.raises(WorkerCrashError, match="MC-WORKER-CRASH"):
+        fault_simulate(
+            circuit, cells, faults, batch, workers=3,
+            backend=backend, exec_mode="process",
+        )
+    seams.unregister("psim.shard")
+    _assert_no_shm_leaks()  # the crashed call already unlinked its block
+
+    # The broken pool was retired; the next call builds a fresh one and
+    # produces bit-identical results.
+    recovered = fault_simulate(
+        circuit, cells, faults, batch, workers=3,
+        backend=backend, exec_mode="process",
+    )
+    assert recovered == serial
+
+
+@pytest.mark.parametrize("backend", ["event", "wide"])
+def test_corrupted_shm_block_is_repaired_bit_exactly(cells, library, backend):
+    """Every-2nd-block corruption: caught by CRC, rebuilt, identical."""
+    circuit, faults, batch = _workload(cells, library, seed=41)
+    serial = fault_simulate(
+        circuit, cells, faults, batch, workers=1,
+        backend=backend, exec_mode="serial",
+    )
+    stats = EngineStats()
+    with chaos(ChaosConfig(corrupt_shm_every=2)) as injector:
+        clean = fault_simulate(
+            circuit, cells, faults, batch, workers=2,
+            backend=backend, exec_mode="process", stats=stats,
+        )  # block 1: untouched
+        repaired = fault_simulate(
+            circuit, cells, faults, batch, workers=2,
+            backend=backend, exec_mode="process", stats=stats,
+        )  # block 2: corrupted, rebuilt as block 3
+    assert clean == serial
+    assert repaired == serial
+    assert injector.counters.shm_blocks_seen == 3
+    assert injector.counters.shm_corruptions_injected == 1
+    assert stats.cache_integrity_failures == 1
+    assert any("CRC" in record for record in stats.degradations)
+
+
+def test_persistently_corrupted_shm_block_raises(cells, library):
+    """Corruption that survives the one rebuild is an explicit error."""
+    circuit, faults, batch = _workload(cells, library, seed=42)
+    with chaos(ChaosConfig(corrupt_shm_every=1)) as injector:
+        with pytest.raises(SharedMemoryCorruption, match="CRC"):
+            fault_simulate(
+                circuit, cells, faults, batch, workers=2,
+                backend="wide", exec_mode="process",
+            )
+    assert injector.counters.shm_corruptions_injected == 2  # both attempts
+    _assert_no_shm_leaks()
+
+
+def test_chaos_env_parses_corrupt_shm_every():
+    config = ChaosConfig.from_env({"REPRO_CHAOS": "corrupt_shm_every=3"})
+    assert config.corrupt_shm_every == 3
+
+
+@pytest.mark.parametrize("backend", ["event", "wide"])
+def test_unpicklable_faults_fall_back_with_coded_warning(
+    cells, library, backend
+):
+    """A shard that cannot be pickled degrades loudly, not silently."""
+
+    class LocalFault(StuckAtFault):  # local classes cannot be pickled
+        pass
+
+    circuit, faults, batch = _workload(cells, library, seed=43)
+    net = next(iter(circuit.inputs))
+    faults = list(faults) + [
+        LocalFault("sa0:local", "MET-01", net=net, value=0)
+    ]
+    serial = fault_simulate(
+        circuit, cells, faults, batch, workers=1,
+        backend=backend, exec_mode="serial",
+    )
+    stats = EngineStats()
+    with pytest.warns(RuntimeWarning, match="MC-FALLBACK-PICKLE"):
+        fallback = fault_simulate(
+            circuit, cells, faults, batch, workers=2,
+            backend=backend, exec_mode="process", stats=stats,
+        )
+    assert fallback == serial
+    assert any(w.startswith("MC-FALLBACK-PICKLE") for w in stats.warnings)
+    assert stats.proc_shards == 0
+    if backend == "event":  # announced fallback: threads for event ...
+        assert stats.parallel_chunks > 0
+    else:  # ... serial for wide
+        assert stats.parallel_chunks == 0
+
+
+@pytest.mark.parametrize("backend", ["event", "wide"])
+def test_missing_shared_memory_falls_back_with_coded_warning(
+    cells, library, backend, monkeypatch
+):
+    circuit, faults, batch = _workload(cells, library, seed=44)
+    serial = fault_simulate(
+        circuit, cells, faults, batch, workers=1,
+        backend=backend, exec_mode="serial",
+    )
+    monkeypatch.setattr(psim, "_SHM_PROBE", False)
+    stats = EngineStats()
+    with pytest.warns(RuntimeWarning, match="MC-FALLBACK-SHM"):
+        fallback = fault_simulate(
+            circuit, cells, faults, batch, workers=2,
+            backend=backend, exec_mode="process", stats=stats,
+        )
+    assert fallback == serial
+    assert any(w.startswith("MC-FALLBACK-SHM") for w in stats.warnings)
+
+
+def test_wide_backend_under_thread_mode_warns(cells, library):
+    """workers>1 + wide + exec_mode=thread has no thread path: say so."""
+    circuit, faults, batch = _workload(cells, library, seed=45)
+    serial = fault_simulate(
+        circuit, cells, faults, batch, workers=1,
+        backend="wide", exec_mode="serial",
+    )
+    stats = EngineStats()
+    with pytest.warns(RuntimeWarning, match="MC-THREAD-WIDE"):
+        words = fault_simulate(
+            circuit, cells, faults, batch, workers=4,
+            backend="wide", exec_mode="thread", stats=stats,
+        )
+    assert words == serial
+    assert any(w.startswith("MC-THREAD-WIDE") for w in stats.warnings)
+
+
+def test_pools_are_cached_and_bounded(cells, library):
+    """One pool per (circuit, workers), reused across batches, LRU-bounded."""
+    psim.shutdown_pools()
+    circuit, faults, batch = _workload(cells, library, seed=46)
+    fault_simulate(
+        circuit, cells, faults, batch, workers=2,
+        backend="wide", exec_mode="process",
+    )
+    pool_before = next(iter(psim._POOLS.values()))[0]
+    fault_simulate(
+        circuit, cells, faults, batch, workers=2,
+        backend="wide", exec_mode="process",
+    )
+    pool_after = next(iter(psim._POOLS.values()))[0]
+    assert pool_before is pool_after
+    assert len(psim._POOLS) <= psim._MAX_POOLS
+
+    # Distinct circuits get distinct pools, and the cache stays bounded.
+    for seed in (47, 48, 49):
+        c, f, b = _workload(cells, library, seed=seed)
+        fault_simulate(
+            c, cells, f, b, workers=2, backend="wide", exec_mode="process",
+        )
+    assert len(psim._POOLS) <= psim._MAX_POOLS
+
+
+def test_stats_merge_carries_multicore_counters():
+    a = EngineStats(
+        proc_shards=2, proc_workers=4, shm_bytes=100,
+        shard_imbalance=1.5, warnings=["MC-X: one"],
+    )
+    b = EngineStats(
+        proc_shards=3, proc_workers=2, shm_bytes=50,
+        shard_imbalance=1.2, warnings=["MC-Y: two"],
+    )
+    a.merge(b)
+    assert a.proc_shards == 5
+    assert a.proc_workers == 4  # high-water mark
+    assert a.shm_bytes == 150
+    assert a.shard_imbalance == 1.5  # high-water mark
+    assert a.warnings == ["MC-X: one", "MC-Y: two"]
+    d = a.as_dict()
+    for key in ("proc_shards", "proc_workers", "shm_bytes",
+                "shard_imbalance", "warnings"):
+        assert key in d

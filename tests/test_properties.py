@@ -8,6 +8,7 @@ import random
 from hypothesis import given, settings, strategies as st
 
 from repro.atpg.cnf import _gate_clauses, _prime_implicants
+from repro.faults.fsim import PatternBatch, fault_simulate
 from repro.synthesis.aig import Aig
 from repro.synthesis.rewrite import shrink_tt, tt_support
 from repro.synthesis.techmap import _transform_tt
@@ -144,3 +145,50 @@ class TestSimulatorVsAig:
         )
         for po, val in zip(circuit.outputs, aig_out):
             assert net_vals[po] == val
+
+
+class TestMulticoreInvariance:
+    @given(st.data())
+    @settings(max_examples=8, deadline=None)
+    def test_detects_invariant_to_workers_and_shard_order(
+        self, cells, library, data
+    ):
+        """The detected-fault set is a pure function of (circuit, faults,
+        batch): invariant to worker count, execution mode, and the order
+        the faults are handed in (shard composition follows fault order,
+        so permuting the list reshuffles every LPT shard)."""
+        from tests.conftest import mixed_fault_list, random_mapped_circuit
+
+        seed = data.draw(st.integers(0, 2 ** 16), label="circuit seed")
+        backend = data.draw(
+            st.sampled_from(["event", "wide"]), label="backend"
+        )
+        workers = data.draw(st.integers(1, 8), label="workers")
+        circuit = random_mapped_circuit(cells, n_gates=30, seed=seed)
+        pool = mixed_fault_list(circuit, library, seed=seed, per_kind=4)
+        faults = data.draw(
+            st.lists(st.sampled_from(pool), min_size=8, max_size=24,
+                     unique_by=lambda f: f.fault_id),
+            label="fault subset",
+        )
+        batch = PatternBatch.random(circuit, 96, seed=seed ^ 0x5A5A)
+
+        serial = fault_simulate(
+            circuit, cells, faults, batch,
+            workers=1, backend=backend, exec_mode="serial",
+        )
+        baseline = {
+            f.fault_id: w for f, w in zip(faults, serial)
+        }
+
+        shuffled = list(faults)
+        random.Random(data.draw(
+            st.integers(0, 2 ** 16), label="shuffle seed"
+        )).shuffle(shuffled)
+        words = fault_simulate(
+            circuit, cells, shuffled, batch,
+            workers=workers, backend=backend, exec_mode="process",
+        )
+        assert {
+            f.fault_id: w for f, w in zip(shuffled, words)
+        } == baseline
