@@ -49,6 +49,26 @@ _REDUCE_EVERY_CONFLICTS = 1500
 _MAX_LEARNT = 3000
 
 
+def fault_site_net(circuit: Circuit, fault: Fault) -> Optional[str]:
+    """Net whose output cone carries *fault*'s effect.
+
+    Module-level so shard partitioners can group faults by site without
+    instantiating an engine (the parallel SAT phase sorts and shards on
+    this key in the parent, before any worker exists).
+    """
+    if isinstance(fault, (StuckAtFault, TransitionFault)):
+        if fault.branch is not None:
+            gate = circuit.gates.get(fault.branch[0])
+            return gate.output if gate else None
+        return fault.net
+    if isinstance(fault, BridgingFault):
+        return fault.victim
+    if isinstance(fault, CellAwareFault):
+        gate = circuit.gates.get(fault.gate)
+        return gate.output if gate else None
+    return None
+
+
 class _SiteCone:
     """Shared faulty-cone encoding rooted at one net."""
 
@@ -72,10 +92,18 @@ class _SiteCone:
 class IncrementalAtpg:
     """Shared-solver exact fault decision engine for one circuit."""
 
-    def __init__(self, circuit: Circuit, cells: Mapping[str, StandardCell]):
+    def __init__(
+        self,
+        circuit: Circuit,
+        cells: Mapping[str, StandardCell],
+        solver: Optional[Solver] = None,
+    ):
         self.circuit = circuit
         self.cells = cells
-        self.solver = Solver()
+        # An injected solver must be fresh (no clauses/vars): the slot
+        # exists so benchmarks can pin a frozen-baseline Solver class.
+        self.solver = solver if solver is not None else Solver()
+        self.lemmas_reused = 0
         self._var: Dict[Tuple[str, str], int] = {}
         self._topo = circuit.topo_order()
         self._topo_index = {g: i for i, g in enumerate(self._topo)}
@@ -192,15 +220,14 @@ class IncrementalAtpg:
         if cone is None:
             return
         solver = self.solver
-        for ci in range(cone.clause_start, cone.clause_end):
-            solver.clauses[ci] = None
+        solver.delete_clauses(range(cone.clause_start, cone.clause_end))
         lo, hi = cone.var_start + 1, cone.var_end
-        for ci in solver._learnt:
-            clause = solver.clauses[ci]
-            if clause is None:
-                continue
-            if any(lo <= (elit >> 1) <= hi for elit in clause):
-                solver.clauses[ci] = None
+        stale = [
+            ci for ci in solver._learnt
+            if solver.clauses[ci] is not None
+            and any(lo <= (elit >> 1) <= hi for elit in solver.clauses[ci])
+        ]
+        solver.delete_clauses(stale)
         solver._learnt = [
             ci for ci in solver._learnt if solver.clauses[ci] is not None
         ]
@@ -216,6 +243,22 @@ class IncrementalAtpg:
         deterministic phase.
         """
         return self.solver.conflicts, self.solver.propagations
+
+    def effort(self) -> Dict[str, int]:
+        """Full solver-effort snapshot as a counter dict.
+
+        Keys line up with the ``sat_*`` fields of
+        :class:`~repro.utils.observability.EngineStats` so drivers (and
+        parallel shard workers computing before/after deltas) can map
+        them mechanically.
+        """
+        return {
+            "sat_conflicts": self.solver.conflicts,
+            "sat_propagations": self.solver.propagations,
+            "sat_learned": self.solver.learned,
+            "sat_restarts": self.solver.restarts,
+            "sat_lemmas_reused": self.lemmas_reused,
+        }
 
     # ------------------------------------------------------------------
     # Per-fault decision
@@ -237,6 +280,9 @@ class IncrementalAtpg:
         # watermarks so the post-decision cleanup never touches them.
         if self._needs_frame1(fault):
             self._ensure_frame1()
+        # Lemmas carried over from earlier faults and available to this
+        # query — the quantity incremental solving exists to maximize.
+        self.lemmas_reused += len(self.solver._learnt)
         site = self._site_net(fault)
         # Single-active-cone policy: callers process faults grouped by
         # site (see the engine's sort order), so retiring the previous
@@ -297,15 +343,16 @@ class IncrementalAtpg:
             if ci < clause_mark:
                 break
             protected.add(ci)
-        for ci in range(clause_mark, len(solver.clauses)):
-            if ci not in protected:
-                solver.clauses[ci] = None
+        solver.delete_clauses(
+            ci for ci in range(clause_mark, len(solver.clauses))
+            if ci not in protected
+        )
         for v in range(var_mark + 1, solver.num_vars + 1):
             if solver._val[v << 1] == 2:  # unassigned
                 solver.add_clause([-v])
         if (solver.conflicts - self._last_reduce > _REDUCE_EVERY_CONFLICTS
                 or len(solver._learnt) > _MAX_LEARNT):
-            solver.reduce_learnts(keep_max_size=3)
+            solver.reduce_learnts(keep_max_size=3, max_keep=_MAX_LEARNT)
             self._last_reduce = solver.conflicts
         return result, test
 
@@ -319,17 +366,7 @@ class IncrementalAtpg:
 
     def _site_net(self, fault: Fault) -> Optional[str]:
         """Net whose output cone carries this fault's effect."""
-        if isinstance(fault, (StuckAtFault, TransitionFault)):
-            if fault.branch is not None:
-                gate = self.circuit.gates.get(fault.branch[0])
-                return gate.output if gate else None
-            return fault.net
-        if isinstance(fault, BridgingFault):
-            return fault.victim
-        if isinstance(fault, CellAwareFault):
-            gate = self.circuit.gates.get(fault.gate)
-            return gate.output if gate else None
-        return None
+        return fault_site_net(self.circuit, fault)
 
     # ------------------------------------------------------------------
     def _clause(self, act: int, lits: Sequence[int]) -> None:

@@ -1,9 +1,11 @@
 """A CDCL SAT solver.
 
 Implements the standard modern architecture: two-watched-literal
-propagation, first-UIP conflict analysis with clause learning,
-non-chronological backjumping, VSIDS-style decaying activities with a
-lazy heap, phase saving, and geometric restarts.  Written for the
+propagation with dedicated binary-implication lists (a circuit CNF is
+mostly two-literal clauses, which skip the watch machinery entirely),
+first-UIP conflict analysis with clause learning, non-chronological
+backjumping, VSIDS-style decaying activities with a lazy heap, phase
+saving, and geometric restarts.  Written for the
 instance profile of circuit ATPG (tens of thousands of small clauses,
 shallow proofs) — undetectable faults produce genuine UNSAT results.
 
@@ -44,6 +46,14 @@ class Solver:
         self.num_vars = 0
         self.clauses: List[List[int]] = []  # encoded literals
         self._watches: List[List[int]] = [[], []]  # per encoded literal
+        # Binary clauses propagate through dedicated implication lists:
+        # _bins[falsified_lit] holds (implied_lit, clause_index) pairs,
+        # so the two-literal case (the bulk of a circuit CNF) skips the
+        # watch machinery entirely.  Binary clauses still live in
+        # :attr:`clauses` — conflict analysis needs the index — but are
+        # never watch-registered and never tombstoned (see
+        # :meth:`reduce_learnts`), so the lists stay free of dead pairs.
+        self._bins: List[List[tuple]] = [[], []]
         self._val = bytearray([_UNDEF, _UNDEF])  # per encoded literal
         self._level: List[int] = [0]
         self._reason: List[Optional[int]] = [None]
@@ -53,13 +63,24 @@ class Solver:
         self._activity: List[float] = [0.0]
         self._var_inc = 1.0
         self._heap: List[tuple] = []  # (-activity, var) lazy entries
+        # _hflag[v] == 1 iff the heap holds an entry matching v's current
+        # activity.  Lets _backtrack re-push only variables whose entry
+        # was consumed (decisions) instead of the whole unwound trail —
+        # the heap traffic drops from O(trail) to O(decisions + bumps).
+        self._hflag = bytearray([0])
         self._phase = bytearray([0])
         self._ok = True
-        self.model: List[int] = []
-        self._model_map: dict = {}
+        # Model state: a bytes snapshot of the assignment at the moment
+        # of SAT (O(1) value_of lookups, C-speed copy) plus a lazily
+        # materialized signed-literal list for the public .model API.
+        self._model_val: bytes = bytes(self._val)
+        self._model: Optional[List[int]] = []
         self._learnt: List[int] = []  # indices of learned clauses
+        self._glue: dict = {}  # learned clause index -> LBD at learn time
         self.conflicts = 0
         self.propagations = 0  # literals whose watch lists were processed
+        self.learned = 0  # learned clauses recorded (units included)
+        self.restarts = 0  # restarts taken across all solve() calls
 
     # ------------------------------------------------------------------
     # Problem construction
@@ -69,10 +90,13 @@ class Solver:
         self._val.extend((_UNDEF, _UNDEF))
         self._watches.append([])
         self._watches.append([])
+        self._bins.append([])
+        self._bins.append([])
         self._level.append(0)
         self._reason.append(None)
         self._activity.append(0.0)
         self._phase.append(0)
+        self._hflag.append(1)
         heapq.heappush(self._heap, (0.0, self.num_vars))
         return self.num_vars
 
@@ -111,9 +135,21 @@ class Solver:
             return True
         idx = len(self.clauses)
         self.clauses.append(filtered)
-        self._watches[filtered[0]].append(idx)
-        self._watches[filtered[1]].append(idx)
+        self._attach_clause(idx, filtered)
         return True
+
+    def _attach_clause(self, idx: int, clause: List[int]) -> None:
+        """Index a new clause for propagation (length >= 2).
+
+        ``_bins[lit]`` lists the implications fired when *lit* itself is
+        falsified — the same key convention as the watch lists.
+        """
+        if len(clause) == 2:
+            self._bins[clause[0]].append((clause[1], idx))
+            self._bins[clause[1]].append((clause[0], idx))
+        else:
+            self._watches[clause[0]].append(idx)
+            self._watches[clause[1]].append(idx)
 
     # ------------------------------------------------------------------
     # Solving
@@ -144,7 +180,13 @@ class Solver:
             self._ok = False
             return UNSAT
         enc_assumps = [_enc(a) for a in assumptions]
-        restart_limit = 100
+        # Assumption-aware restart schedule.  ATPG issues thousands of
+        # small assumption-driven queries against one long-lived solver;
+        # a restart only rewinds to the assumption level (never level 0),
+        # so restarting is cheap and escaping a bad phase/activity rut
+        # early pays off.  Plain refutations keep the classic lazier
+        # schedule: they are one-shot and level-0 rewinds cost more.
+        restart_limit = 32 if enc_assumps else 100
         conflicts_here = 0
         limited = (
             conflict_budget is not None
@@ -181,7 +223,8 @@ class Solver:
                 self._var_inc /= 0.95
                 if conflicts_here >= restart_limit:
                     conflicts_here = 0
-                    restart_limit = int(restart_limit * 1.5)
+                    restart_limit = int(restart_limit * 2)
+                    self.restarts += 1
                     self._backtrack(
                         min(len(enc_assumps), len(self._trail_lim))
                     )
@@ -199,12 +242,10 @@ class Solver:
                 continue
             lit = self._decide()
             if lit is None:
-                self.model = [
-                    v if self._val[v << 1] == 1 else -v
-                    for v in range(1, self.num_vars + 1)
-                    if self._val[v << 1] != _UNDEF
-                ]
-                self._model_map = {abs(l): int(l > 0) for l in self.model}
+                # Snapshot the assignment (one C-level copy); .model and
+                # value_of() read from it on demand.
+                self._model_val = bytes(self._val)
+                self._model = None
                 self._backtrack(0)
                 return SAT
             if limited:
@@ -220,15 +261,47 @@ class Solver:
             self._trail_lim.append(len(self._trail))
             self._enqueue(lit, None)
 
+    @property
+    def model(self) -> List[int]:
+        """Signed-literal model of the last SAT answer."""
+        if self._model is None:
+            mv = self._model_val
+            self._model = [
+                v if mv[v << 1] == 1 else -v
+                for v in range(1, len(mv) // 2)  # vars known at snapshot
+                if mv[v << 1] != _UNDEF
+            ]
+        return self._model
+
     def value_of(self, var: int) -> Optional[int]:
         """Model value of *var* after a SAT answer (None if don't-care)."""
-        return self._model_map.get(var)
+        e = var << 1
+        if e >= len(self._model_val):  # var created after the snapshot
+            return None
+        v = self._model_val[e]
+        return None if v == _UNDEF else v
 
-    def reduce_learnts(self, keep_max_size: int = 4) -> int:
-        """Drop long learned clauses to bound propagation cost.
+    def reduce_learnts(
+        self,
+        keep_max_size: int = 4,
+        keep_glue: int = 2,
+        max_keep: Optional[int] = None,
+    ) -> int:
+        """Drop poor learned clauses to bound propagation cost.
+
+        Retention is LBD-aware: a clause survives if it is short
+        (``len <= keep_max_size``) **or** glued (its literal-block
+        distance at learn time was at most *keep_glue* — low-LBD clauses
+        connect few decision levels and re-propagate constantly, so they
+        are the lemmas worth paying watch-list rent for).  *max_keep*
+        additionally caps the survivor count: the worst survivors by
+        (glue, length) are dropped first, so a long run of small queries
+        cannot accumulate an unbounded glued set.
 
         Only call between solves (at decision level 0).  Clauses that are
-        the reason for a level-0 assignment are preserved.  Returns the
+        the reason for a level-0 assignment are preserved, and binary
+        clauses always survive: they are indexed in the binary-implication
+        lists, which are never scanned for tombstones.  Returns the
         number of clauses deleted; deleted slots become None and their
         watch entries are dropped lazily during propagation.
         """
@@ -237,19 +310,71 @@ class Solver:
             for elit in self._trail
             if self._reason[elit >> 1] is not None
         }
+        glue = self._glue
         survivors: List[int] = []
         deleted = 0
         for ci in self._learnt:
             clause = self.clauses[ci]
             if clause is None:
+                glue.pop(ci, None)
                 continue
-            if ci in protected or len(clause) <= keep_max_size:
+            if (
+                ci in protected
+                or len(clause) == 2  # lives in _bins; must never die
+                or len(clause) <= keep_max_size
+                or glue.get(ci, keep_glue + 1) <= keep_glue
+            ):
                 survivors.append(ci)
             else:
                 self.clauses[ci] = None
+                glue.pop(ci, None)
                 deleted += 1
+        if max_keep is not None and len(survivors) > max_keep:
+            survivors.sort(
+                key=lambda ci: (
+                    glue.get(ci, 1 << 30), len(self.clauses[ci]), ci
+                )
+            )
+            for ci in survivors[max_keep:]:
+                if ci in protected or len(self.clauses[ci]) == 2:
+                    continue
+                self.clauses[ci] = None
+                glue.pop(ci, None)
+                deleted += 1
+            survivors = [
+                ci for ci in survivors if self.clauses[ci] is not None
+            ]
+            survivors.sort()
         self._learnt = survivors
         return deleted
+
+    def delete_clauses(self, indices) -> None:
+        """Tombstone the clauses at *indices* (level 0 only).
+
+        Watch entries die lazily during propagation, but binary clauses
+        live in the implication lists, which the hot loop never
+        tombstone-checks — so their pairs are purged here, eagerly and
+        batched (each affected list is rebuilt once).  This is the only
+        sound way to delete a binary clause; callers retiring clause
+        ranges (e.g. a fault cone) must use it rather than assigning
+        ``clauses[ci] = None`` directly.
+        """
+        dead_bins: List[tuple] = []
+        for ci in indices:
+            clause = self.clauses[ci]
+            if clause is None:
+                continue
+            self.clauses[ci] = None
+            if len(clause) == 2:
+                dead_bins.append(clause)
+        if not dead_bins:
+            return
+        keys = {lit for clause in dead_bins for lit in clause}
+        for key in keys:
+            self._bins[key] = [
+                pair for pair in self._bins[key]
+                if self.clauses[pair[1]] is not None
+            ]
 
     # ------------------------------------------------------------------
     # Internals (encoded literals throughout)
@@ -271,13 +396,37 @@ class Solver:
     def _propagate(self) -> Optional[int]:
         val = self._val
         watches = self._watches
+        bins = self._bins
         clauses = self.clauses
         trail = self._trail
-        while self._qhead < len(trail):
-            elit = trail[self._qhead]
-            self._qhead += 1
-            self.propagations += 1
+        level = self._level
+        reason = self._reason
+        phase = self._phase
+        cur_level = len(self._trail_lim)
+        qhead = self._qhead
+        props = 0
+        while qhead < len(trail):
+            elit = trail[qhead]
+            qhead += 1
+            props += 1
             falsified = elit ^ 1
+            # Binary implications first: no clause objects, no watch
+            # juggling — just (implied literal, reason index) pairs.
+            for q, ci in bins[falsified]:
+                v = val[q]
+                if v == 1:
+                    continue
+                if v == 0:
+                    self._qhead = qhead
+                    self.propagations += props
+                    return ci
+                val[q] = 1
+                val[q ^ 1] = 0
+                qvar = q >> 1
+                level[qvar] = cur_level
+                reason[qvar] = ci
+                phase[qvar] = 1 - (q & 1)
+                trail.append(q)
             watching = watches[falsified]
             if not watching:
                 continue
@@ -313,9 +462,22 @@ class Solver:
                 if val[first] == 0:
                     keep.extend(watching[i:])
                     watches[falsified] = keep
+                    self._qhead = qhead
+                    self.propagations += props
                     return ci
-                self._enqueue(first, ci)
+                # Implied literal: _enqueue inlined (val[first] is
+                # known-unassigned here, and this is the hottest site
+                # in the whole solver).
+                val[first] = 1
+                val[first ^ 1] = 0
+                fvar = first >> 1
+                level[fvar] = cur_level
+                reason[fvar] = ci
+                phase[fvar] = 1 - (first & 1)
+                trail.append(first)
             watches[falsified] = keep
+        self._qhead = qhead
+        self.propagations += props
         return None
 
     def _analyze(self, conflict_idx: int):
@@ -357,6 +519,7 @@ class Solver:
         return learnt, back
 
     def _record_learnt(self, learnt: List[int]) -> None:
+        self.learned += 1
         if len(learnt) == 1:
             self._enqueue(learnt[0], None)
             return
@@ -368,8 +531,11 @@ class Solver:
         idx = len(self.clauses)
         self.clauses.append(learnt)
         self._learnt.append(idx)
-        self._watches[learnt[0]].append(idx)
-        self._watches[learnt[1]].append(idx)
+        # Literal-block distance at learn time: distinct decision levels
+        # among the tail literals plus one for the asserting literal
+        # (which lands on its own, higher level after the backjump).
+        self._glue[idx] = len({levels[q >> 1] for q in learnt[1:]}) + 1
+        self._attach_clause(idx, learnt)
         self._enqueue(learnt[0], idx)
 
     def _backtrack(self, level: int) -> None:
@@ -379,12 +545,19 @@ class Solver:
         val = self._val
         heap = self._heap
         activity = self._activity
+        hflag = self._hflag
+        reason = self._reason
         for elit in self._trail[limit:]:
             val[elit] = _UNDEF
             val[elit ^ 1] = _UNDEF
             var = elit >> 1
-            self._reason[var] = None
-            heapq.heappush(heap, (-activity[var], var))
+            reason[var] = None
+            # Only variables whose heap entry was consumed (popped as a
+            # decision, or dropped in a rescale) need a fresh entry;
+            # propagated variables' entries are still sitting in the heap.
+            if not hflag[var]:
+                heapq.heappush(heap, (-activity[var], var))
+                hflag[var] = 1
         del self._trail[limit:]
         del self._trail_lim[level:]
         self._qhead = len(self._trail)
@@ -394,22 +567,40 @@ class Solver:
         self._activity[var] = act
         if act > 1e100:
             scale = 1e-100
+            activity = self._activity
             for v in range(1, self.num_vars + 1):
-                self._activity[v] *= scale
+                activity[v] *= scale
             self._var_inc *= scale
+            # Every heap entry now fails _decide's staleness check
+            # (-neg_act != activity[var] after the rescale), so the heap
+            # must be rebuilt with fresh entries or every subsequent
+            # decision drains it and degrades to the O(n) linear scan.
+            val = self._val
+            hflag = bytearray(self.num_vars + 1)
+            heap = []
+            for v in range(1, self.num_vars + 1):
+                if val[v << 1] == _UNDEF:
+                    heap.append((-activity[v], v))
+                    hflag[v] = 1
+            heapq.heapify(heap)
+            self._heap = heap
+            self._hflag = hflag
         else:
             heapq.heappush(self._heap, (-act, var))
+            self._hflag[var] = 1
 
     def _decide(self) -> Optional[int]:
         val = self._val
         heap = self._heap
         activity = self._activity
+        hflag = self._hflag
         while heap:
             neg_act, var = heapq.heappop(heap)
-            if val[var << 1] != _UNDEF:
-                continue
             if -neg_act != activity[var]:
                 continue  # stale entry; a fresher one exists
+            hflag[var] = 0  # the current entry just left the heap
+            if val[var << 1] != _UNDEF:
+                continue
             return (var << 1) | (0 if self._phase[var] else 1)
         # Heap exhausted: fall back to a linear scan (rare).
         for var in range(1, self.num_vars + 1):

@@ -96,6 +96,33 @@ def resolve_exec(exec_mode: Optional[str] = None) -> str:
     return exec_mode
 
 
+def resolve_atpg_exec(exec_mode: Optional[str] = None) -> str:
+    """Execution mode for the deterministic ATPG SAT phase.
+
+    An explicit *exec_mode* wins — it is the same value ``run_atpg``
+    hands its fault-simulation batches, so one argument steers the whole
+    run.  Otherwise ``REPRO_ATPG_EXEC`` decides, defaulting to
+    ``REPRO_SIM_EXEC`` (one env knob parallelizes everything) and
+    finally to ``auto``.  Note the SAT phase only shards across
+    processes under an explicit ``process`` mode: ``auto`` keeps it
+    serial, because unlike a simulation batch the phase's dispatch cost
+    (per-worker solver encodings) only pays off on real multi-core
+    hardware (see :mod:`repro.atpg.patpg`).
+    """
+    if exec_mode is None:
+        exec_mode = (
+            os.environ.get("REPRO_ATPG_EXEC", "").strip()
+            or os.environ.get("REPRO_SIM_EXEC", "").strip()
+            or EXEC_AUTO
+        )
+    if exec_mode not in _EXEC_MODES:
+        raise ValueError(
+            f"unknown execution mode {exec_mode!r}; "
+            f"expected one of {_EXEC_MODES}"
+        )
+    return exec_mode
+
+
 def resolve_workers(workers: Optional[int] = None) -> int:
     """Worker count; ``None`` falls back to ``REPRO_SIM_WORKERS`` (1)."""
     if workers is None:

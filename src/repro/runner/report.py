@@ -252,6 +252,8 @@ def render_report(report: Mapping[str, object]) -> str:
         effort = [
             [key, totals[key]]
             for key in ("sat_calls", "sat_conflicts", "sat_propagations",
+                        "sat_learned", "sat_restarts", "sat_lemmas_reused",
+                        "sat_shards", "sat_workers",
                         "faults_simulated", "events_propagated",
                         "verdicts_inherited", "verdicts_proved")
             if key in totals

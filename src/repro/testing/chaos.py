@@ -67,7 +67,14 @@ class ChaosConfig:
       persistently rotten block surfaces as an explicit
       :class:`~repro.faults.psim.SharedMemoryCorruption`;
     * ``fail_analyze_at`` — raise :class:`ChaosError` on the Nth
-      ``flow.analyze`` call (1-based; 0 disables).
+      ``flow.analyze`` call (1-based; 0 disables);
+    * ``kill_atpg_shard`` — SIGKILL the worker process on the Nth
+      ``atpg.shard`` firing (1-based; 0 disables), modelling a SAT
+      worker dying mid-shard.  ``run_atpg`` must rerun the phase
+      serially with the coded ``MC-FALLBACK-ATPG`` warning and an
+      unchanged verdict partition.  The kill fires at most once per
+      injector: the serial rerun must not be re-killed (and the serial
+      phase never fires the seam anyway — it runs in the parent).
     """
 
     seed: int = 0
@@ -76,6 +83,7 @@ class ChaosConfig:
     corrupt_good_cache_every: int = 0
     corrupt_shm_every: int = 0
     fail_analyze_at: int = 0
+    kill_atpg_shard: int = 0
 
     @classmethod
     def from_env(
@@ -113,7 +121,7 @@ class ChaosConfig:
                 )
             elif key in (
                 "seed", "corrupt_good_cache_every", "corrupt_shm_every",
-                "fail_analyze_at",
+                "fail_analyze_at", "kill_atpg_shard",
             ):
                 kwargs[key] = int(value)
             else:
@@ -133,6 +141,13 @@ class ChaosCounters:
     shm_corruptions_injected: int = 0
     analyze_calls: int = 0
     failures_raised: int = 0
+    # atpg.shard fires inside worker processes: with fork-started pools
+    # these two count within each worker's inherited copy of the
+    # injector, so the parent's instance stays at 0 — tests assert the
+    # observable contract (MC-FALLBACK-ATPG + unchanged verdicts)
+    # instead.
+    atpg_shards_seen: int = 0
+    workers_killed: int = 0
 
 
 class ChaosInjector:
@@ -205,6 +220,24 @@ class ChaosInjector:
         view[view.shape[0] // 2, view.shape[1] // 2] ^= 1  # type: ignore[index]
         self.counters.shm_corruptions_injected += 1
 
+    def _on_atpg_shard(
+        self, shard: object = None, pid: object = None, **_: object
+    ) -> None:
+        cfg = self.config
+        self.counters.atpg_shards_seen += 1
+        if not cfg.kill_atpg_shard:
+            return
+        if self.counters.atpg_shards_seen != cfg.kill_atpg_shard:
+            return
+        # Running in the worker itself (fork-inherited handler): suicide
+        # by SIGKILL models an OOM kill mid-shard.  The counter check is
+        # per-process, i.e. each worker dies on its own Nth shard task.
+        import os
+        import signal
+
+        self.counters.workers_killed += 1
+        os.kill(os.getpid(), signal.SIGKILL)
+
     def _on_analyze(self, **_: object) -> None:
         cfg = self.config
         self.counters.analyze_calls += 1
@@ -231,6 +264,8 @@ class ChaosInjector:
             seams.register("fsim.shm_block", self._on_shm_block)
         if cfg.fail_analyze_at:
             seams.register("flow.analyze", self._on_analyze)
+        if cfg.kill_atpg_shard:
+            seams.register("atpg.shard", self._on_atpg_shard)
         self._installed = True
         return self
 
@@ -241,6 +276,7 @@ class ChaosInjector:
         seams.unregister("fsim.good_cache_hit")
         seams.unregister("fsim.shm_block")
         seams.unregister("flow.analyze")
+        seams.unregister("atpg.shard")
         if self._prev_integrity is not None:
             set_cache_integrity(self._prev_integrity)
             self._prev_integrity = None

@@ -84,6 +84,16 @@ class EngineStats:
       ``RuntimeWarning``;
     * ``sat_calls`` / ``sat_conflicts`` / ``sat_propagations`` — exact
       ATPG solver effort;
+    * ``sat_learned`` / ``sat_restarts`` — clauses the CDCL solver
+      learned and restarts it took across the run's SAT calls;
+    * ``sat_lemmas_reused`` — learned clauses carried live into a later
+      fault's decision (summed over decisions: each decision counts the
+      lemmas earlier decisions left in the shared solver — the quantity
+      the incremental engine exists to keep high);
+    * ``sat_shards`` — site-cohesive fault shards the deterministic SAT
+      phase dispatched to process workers (0 for a serial phase);
+    * ``sat_workers`` — widest ATPG worker pool used (a high-water mark
+      like ``proc_workers``: merged by max);
     * ``sat_aborts`` — per-fault SAT decisions that ran out of their
       resource budget (deadline / conflict / decision limits);
     * ``verdicts_aborted`` — behaviour classes left unclassified by an
@@ -125,6 +135,11 @@ class EngineStats:
     sat_calls: int = 0
     sat_conflicts: int = 0
     sat_propagations: int = 0
+    sat_learned: int = 0
+    sat_restarts: int = 0
+    sat_lemmas_reused: int = 0
+    sat_shards: int = 0
+    sat_workers: int = 0
     sat_aborts: int = 0
     verdicts_aborted: int = 0
     cache_integrity_failures: int = 0
@@ -181,6 +196,11 @@ class EngineStats:
         self.sat_calls += other.sat_calls
         self.sat_conflicts += other.sat_conflicts
         self.sat_propagations += other.sat_propagations
+        self.sat_learned += other.sat_learned
+        self.sat_restarts += other.sat_restarts
+        self.sat_lemmas_reused += other.sat_lemmas_reused
+        self.sat_shards += other.sat_shards
+        self.sat_workers = max(self.sat_workers, other.sat_workers)
         self.sat_aborts += other.sat_aborts
         self.verdicts_aborted += other.verdicts_aborted
         self.cache_integrity_failures += other.cache_integrity_failures
@@ -219,6 +239,11 @@ class EngineStats:
             "sat_calls": self.sat_calls,
             "sat_conflicts": self.sat_conflicts,
             "sat_propagations": self.sat_propagations,
+            "sat_learned": self.sat_learned,
+            "sat_restarts": self.sat_restarts,
+            "sat_lemmas_reused": self.sat_lemmas_reused,
+            "sat_shards": self.sat_shards,
+            "sat_workers": self.sat_workers,
             "sat_aborts": self.sat_aborts,
             "verdicts_aborted": self.verdicts_aborted,
             "cache_integrity_failures": self.cache_integrity_failures,

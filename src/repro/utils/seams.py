@@ -37,6 +37,12 @@ Known seam names (the registry does not enforce this list):
   fault shard, with the shard's ``indices`` and the worker ``pid``; a
   handler may kill the process to model a worker death mid-shard
   (handlers are inherited by fork-started workers).
+* ``atpg.shard`` — in each process worker, before it runs the SAT
+  decisions of one ATPG shard (:func:`repro.atpg.patpg._run_sat_shard`),
+  with the ``shard`` index, its ``n_faults`` and the worker ``pid``; a
+  handler may kill the process to model a SAT worker death mid-shard
+  (``run_atpg`` must fall back to the serial phase with the coded
+  ``MC-FALLBACK-ATPG`` warning and unchanged verdicts).
 * ``flow.analyze`` — inside :func:`repro.core.flow.analyze_design`; a
   handler may raise to model a crash mid-analysis.
 """

@@ -192,3 +192,45 @@ class TestMulticoreInvariance:
         assert {
             f.fault_id: w for f, w in zip(shuffled, words)
         } == baseline
+
+
+class TestParallelAtpgInvariance:
+    @given(st.data())
+    @settings(max_examples=6, deadline=None)
+    def test_undetectable_invariant_to_atpg_workers_and_scan_order(
+        self, cells, library, data
+    ):
+        """The UNDETECTABLE set of run_atpg is a pure function of
+        (circuit, fault set): invariant to the ATPG worker count (1/2/4)
+        and to the order representatives are handed in (site shards are
+        rebuilt from the fault list, so permuting it reshuffles every
+        shard).  Exact SAT decisions are schedule-independent, so this
+        holds bit-exactly — not just statistically."""
+        from repro.atpg.engine import run_atpg
+        from tests.conftest import mixed_fault_list, random_mapped_circuit
+
+        seed = data.draw(st.integers(0, 2 ** 16), label="circuit seed")
+        workers = data.draw(st.sampled_from([1, 2, 4]), label="workers")
+        circuit = random_mapped_circuit(cells, n_gates=30, seed=seed)
+        pool = mixed_fault_list(circuit, library, seed=seed, per_kind=4)
+        faults = data.draw(
+            st.lists(st.sampled_from(pool), min_size=10, max_size=24,
+                     unique_by=lambda f: f.fault_id),
+            label="fault subset",
+        )
+        baseline = run_atpg(
+            circuit, cells, faults, seed=0, random_rounds=0,
+            workers=1, exec_mode="serial",
+        )
+
+        shuffled = list(faults)
+        random.Random(data.draw(
+            st.integers(0, 2 ** 16), label="shuffle seed"
+        )).shuffle(shuffled)
+        proc = run_atpg(
+            circuit, cells, shuffled, seed=0, random_rounds=0,
+            workers=workers, exec_mode="process",
+        )
+        assert proc.undetectable == baseline.undetectable
+        assert proc.detected == baseline.detected
+        assert proc.aborted == baseline.aborted == set()

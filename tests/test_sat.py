@@ -161,3 +161,72 @@ class TestRandomized:
                 clause = [v if rng.random() < 0.5 else -v for v in clause]
                 s.add_clause(clause)
             s.solve()  # must terminate without error either way
+
+
+class TestActivityRescale:
+    """Regression: the 1e100 activity rescale must rebuild the VSIDS heap.
+
+    Before the fix, rescaling multiplied every activity by 1e-100 without
+    re-pushing heap entries: each existing entry then failed _decide's
+    staleness check (-neg_act != activity[var]), the heap drained, and
+    every later decision fell back to the O(n) linear scan.
+    """
+
+    def test_rescale_leaves_fresh_heap_entries(self):
+        s = Solver()
+        for _ in range(8):
+            s.new_var()
+        for v in range(1, 9):
+            s._activity[v] = float(v)
+        s._var_inc = 2e100  # the next bump crosses the 1e100 cap
+        s._bump(3)
+        assert s._activity[3] == pytest.approx(2.0)
+        assert s._var_inc == pytest.approx(2.0)
+        # Exactly one fresh entry per (unassigned) variable, none stale.
+        assert sorted(var for _neg, var in s._heap) == list(range(1, 9))
+        for neg_act, var in s._heap:
+            assert -neg_act == s._activity[var], "stale entry after rescale"
+        # The heap (not the linear fallback) serves the next decision:
+        # the bumped variable wins, consuming exactly its own entry.
+        lit = s._decide()
+        assert lit is not None and lit >> 1 == 3
+        assert len(s._heap) == 7
+
+    def test_rescale_skips_assigned_variables(self):
+        s = Solver()
+        for _ in range(4):
+            s.new_var()
+        s.add_clause([1])  # var 1 is asserted at level 0
+        assert s._propagate() is None
+        s._var_inc = 2e100
+        s._bump(2)
+        assert 1 not in {var for _neg, var in s._heap}
+        assert sorted(var for _neg, var in s._heap) == [2, 3, 4]
+
+    def test_solve_correct_across_rescale(self):
+        rng = random.Random(5)
+        rescales_seen = 0
+        for _trial in range(8):
+            n = 10
+            clauses = []
+            for _ in range(int(n * 4.2)):
+                clause = rng.sample(range(1, n + 1), 3)
+                clauses.append(
+                    [v if rng.random() < 0.5 else -v for v in clause]
+                )
+            s = Solver()
+            for _ in range(n):
+                s.new_var()
+            ok = True
+            for c in clauses:
+                ok = s.add_clause(c) and ok
+            # A couple of bumps away from the cap: any conflictful run
+            # rescales mid-search.
+            s._var_inc = 9.9e99
+            result = s.solve() if ok else UNSAT
+            if s._var_inc < 1e90:
+                rescales_seen += 1
+            assert result == brute_force(n, clauses)
+            if result == SAT:
+                check_model(s, clauses)
+        assert rescales_seen > 0, "no trial exercised the rescale path"
