@@ -94,7 +94,7 @@ from repro.netlist.vsim import (
     words_for,
 )
 from repro.utils import seams
-from repro.utils.observability import EngineStats
+from repro.utils.observability import EngineStats, warn_coded
 
 SHM_PREFIX = "repro_mc_"
 
@@ -105,6 +105,7 @@ CODE_UNPICKLABLE = "MC-FALLBACK-PICKLE"
 CODE_NO_POOL = "MC-FALLBACK-POOL"
 CODE_WORKER_CRASH = "MC-WORKER-CRASH"
 CODE_SHM_CORRUPT = "MC-SHM-CORRUPT"
+CODE_TRACKER_UNREG = "MC-TRACKER-UNREG"
 
 
 class ProcessExecUnavailable(RuntimeError):
@@ -130,23 +131,41 @@ _SHM_COUNTER = itertools.count()
 
 
 def shm_supported() -> bool:
-    """Probe (once) whether POSIX shared memory works in this environment."""
-    global _SHM_PROBE
+    """Probe (once) whether POSIX shared memory works in this environment.
+
+    Only the failures that genuinely mean "no shared memory here" —
+    ``OSError`` (``/dev/shm`` missing, read-only, or out of space) and
+    ``ValueError`` (a platform rejecting the segment size) — count as an
+    unsupported environment, and the reason is kept in
+    :func:`shm_probe_error` so the eventual ``MC-FALLBACK-SHM`` warning
+    says *why* process execution degraded.  Anything else (a typo-level
+    ``TypeError``, a ``KeyboardInterrupt``) propagates: a probe bug must
+    not silently demote every run to threads.
+    """
+    global _SHM_PROBE, _SHM_PROBE_ERROR
     if _SHM_PROBE is None:
         if shared_memory is None:
             _SHM_PROBE = False
+            _SHM_PROBE_ERROR = "multiprocessing.shared_memory not importable"
         else:
             try:
                 probe = shared_memory.SharedMemory(create=True, size=8)
                 probe.close()
                 probe.unlink()
                 _SHM_PROBE = True
-            except Exception:
+            except (OSError, ValueError) as exc:
                 _SHM_PROBE = False
+                _SHM_PROBE_ERROR = f"{type(exc).__name__}: {exc}"
     return _SHM_PROBE
 
 
+def shm_probe_error() -> Optional[str]:
+    """Why :func:`shm_supported` returned False (None when it passed)."""
+    return _SHM_PROBE_ERROR
+
+
 _SHM_PROBE: Optional[bool] = None
+_SHM_PROBE_ERROR: Optional[str] = None
 
 
 class SharedBatchBlock:
@@ -237,7 +256,7 @@ class SharedBatchBlock:
                 pass
 
 
-def _attach(name: str):
+def _attach(name: str, stats: Optional[EngineStats] = None):
     """Worker-side attach that leaves unlinking to the parent.
 
     Attaching registers the segment with a resource tracker.  Under the
@@ -247,6 +266,11 @@ def _attach(name: str):
     spawn each worker runs its own tracker, which would unlink — and
     warn about — a segment the parent still owns when the worker exits,
     so there the registration is withdrawn.
+
+    A failed withdrawal is survivable (the segment just gets a spurious
+    tracker unlink attempt at worker exit) but never silent: it lands as
+    a coded ``MC-TRACKER-UNREG`` warning on *stats*, which the parent
+    merges into the batch's stats like any other worker delta.
     """
     shm = shared_memory.SharedMemory(name=name)
     if not _WORKER_STATE.get("shared_tracker", True):
@@ -254,8 +278,14 @@ def _attach(name: str):
             from multiprocessing import resource_tracker
 
             resource_tracker.unregister(shm._name, "shared_memory")
-        except Exception:
-            pass
+        except (ImportError, AttributeError, KeyError, ValueError,
+                OSError) as exc:
+            warn_coded(
+                stats, CODE_TRACKER_UNREG,
+                f"could not withdraw segment {name} from this worker's "
+                f"resource tracker ({type(exc).__name__}: {exc}); the "
+                f"tracker may log a spurious unlink at worker exit",
+            )
     return shm
 
 
@@ -310,7 +340,8 @@ def _run_shard(blob: bytes) -> Tuple[List[Tuple[int, int]], EngineStats]:
             "psim.shard", indices=task["indices"], pid=os.getpid()
         )
     plan = _worker_plan()
-    shm = _attach(task["name"])
+    stats = EngineStats()
+    shm = _attach(task["name"], stats)
     try:
         nbytes = task["rows"] * task["words"] * 8
         if zlib.crc32(shm.buf[:nbytes]) != task["crc"]:
@@ -325,7 +356,6 @@ def _run_shard(blob: bytes) -> Tuple[List[Tuple[int, int]], EngineStats]:
         n_nets = task["n_nets"]
         g1 = view[:n_nets]
         g2 = view[n_nets:2 * n_nets]
-        stats = EngineStats()
         if task["backend"] == BACKEND_WIDE:
             from repro.faults.vfsim import _simulate_one_wide, _WideContext
 
@@ -496,8 +526,10 @@ def process_fault_simulate(
     verification twice in a row.
     """
     if not shm_supported():
+        reason = shm_probe_error() or "unknown probe failure"
         raise ProcessExecUnavailable(
-            CODE_NO_SHM, "multiprocessing.shared_memory is not functional"
+            CODE_NO_SHM,
+            f"multiprocessing.shared_memory is not functional ({reason})",
         )
     from repro.faults.fsim import _fault_site_index, _partition_faults
 

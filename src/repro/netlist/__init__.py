@@ -32,7 +32,7 @@ from repro.netlist.vsim import (
     resolve_words,
     simulate_wide,
 )
-from repro.netlist.io import parse_netlist, write_netlist
+from repro.netlist.io import parse_file, parse_netlist, write_netlist
 from repro.netlist.validate import (
     Diagnostic,
     ValidationReport,
@@ -61,6 +61,7 @@ __all__ = [
     "resolve_backend",
     "resolve_words",
     "simulate_wide",
+    "parse_file",
     "parse_netlist",
     "write_netlist",
     "Diagnostic",

@@ -30,7 +30,37 @@ _CONSTS = frozenset((CONST0, CONST1))
 
 
 class NetlistError(Exception):
-    """Raised on structurally invalid netlist operations."""
+    """Raised on structurally invalid netlist operations.
+
+    Parsers and loaders attach machine-matchable context where they can:
+    ``code`` is a :mod:`repro.netlist.validate` diagnostic code (e.g.
+    ``multi-driven-net``, ``undriven-net``, ``syntax``), ``path`` and
+    ``line`` locate the offending source.  Errors raised directly by
+    :class:`Circuit` mutation methods carry no context (``code`` is
+    ``None``); the parsing layer wraps them.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        code: Optional[str] = None,
+        path: Optional[str] = None,
+        line: Optional[int] = None,
+    ):
+        super().__init__(message)
+        self.code = code
+        self.path = path
+        self.line = line
+
+    def diagnostic(self) -> object:
+        """This error as a :class:`repro.netlist.validate.Diagnostic`."""
+        from repro.netlist.validate import ERROR, Diagnostic
+
+        return Diagnostic(
+            code=self.code or "syntax", severity=ERROR,
+            message=str(self), path=self.path, line=self.line,
+        )
 
 
 class CellDef(Protocol):
@@ -323,6 +353,26 @@ class Circuit:
             if net not in self._driver and net not in self.inputs:
                 raise NetlistError(f"output net {net} undriven")
         self.topo_order()  # raises on cycles
+
+    @classmethod
+    def from_file(
+        cls,
+        path: str,
+        fmt: Optional[str] = None,
+        cells: Optional[Dict[str, "CellDef"]] = None,
+    ) -> "Circuit":
+        """Load a circuit from any supported netlist format.
+
+        Dispatches on *fmt* (``netlist`` / ``bench`` / ``verilog``), or
+        on the file extension when *fmt* is ``None``.  Foreign formats
+        are technology-mapped onto standard cells during loading; pass
+        *cells* to restrict the mapping to a library variant and enable
+        cell-aware linting.  Strict: raises :class:`NetlistError` (with
+        ``code``/``path``/``line`` context) on any defect.
+        """
+        from repro.netlist.ingest import load_file
+
+        return load_file(path, fmt=fmt, cells=cells)
 
     def clone(self, name: Optional[str] = None) -> "Circuit":
         """Return a deep structural copy of the circuit."""

@@ -1,0 +1,125 @@
+"""ISCAS-85/89 ``.bench`` front end.
+
+The ``.bench`` format (used by the ISCAS-85 combinational and ISCAS-89
+sequential suites, and by many tools since) is line-oriented::
+
+    # c17 (ISCAS-85)
+    INPUT(1)
+    INPUT(2)
+    OUTPUT(22)
+    10 = NAND(1, 3)
+    22 = NAND(10, 16)
+    G5 = DFF(G10)       # ISCAS-89: state elements
+    G6 = NOT(G5)
+    G7 = BUFF(G6)
+
+Grammar subset accepted here (case-insensitive keywords, ``#`` starts a
+comment, blank lines ignored, whitespace free everywhere except inside
+signal names):
+
+* ``INPUT(sig)`` / ``OUTPUT(sig)`` declarations;
+* ``sig = OP(sig, sig, ...)`` with ``OP`` one of ``AND OR NAND NOR XOR
+  XNOR NOT BUF BUFF DFF`` — the symmetric operators take any arity >= 1,
+  ``NOT``/``BUF``/``DFF`` exactly one input;
+* ``sig = sig2`` aliasing is **not** part of the format and is rejected.
+
+Signal names are arbitrary non-whitespace tokens without ``(``, ``)``,
+``,``, ``=`` or ``#`` — ISCAS files use bare integers and ``G``-prefixed
+names; both pass through unchanged.
+
+Every problem becomes a located :class:`~repro.netlist.validate.
+Diagnostic` on the returned graph's report (the parser never raises),
+so one pass over a broken file reports all of its defects.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.netlist.ingest.graph import NetGraph
+from repro.netlist.validate import ERROR
+
+_DECL_RE = re.compile(
+    r"^(?P<kind>INPUT|OUTPUT)\s*\(\s*(?P<sig>[^\s(),=#]+)\s*\)$",
+    re.IGNORECASE,
+)
+_ASSIGN_RE = re.compile(
+    r"^(?P<out>[^\s(),=#]+)\s*=\s*(?P<op>[A-Za-z]+)\s*"
+    r"\(\s*(?P<args>[^()]*?)\s*\)$",
+)
+
+#: Operator spellings found in the wild -> canonical graph ops.
+_OP_ALIASES = {
+    "AND": "AND", "OR": "OR", "NAND": "NAND", "NOR": "NOR",
+    "XOR": "XOR", "XNOR": "XNOR", "NOT": "NOT", "INV": "NOT",
+    "BUF": "BUF", "BUFF": "BUF", "DFF": "DFF",
+}
+
+_UNARY = ("NOT", "BUF", "DFF")
+
+
+def parse_bench(text: str, path: Optional[str] = None,
+                name: Optional[str] = None) -> NetGraph:
+    """Parse ``.bench`` *text* into a linked :class:`NetGraph`.
+
+    Recovering: malformed lines become ``syntax`` diagnostics and are
+    skipped.  The graph is scan-converted (DFFs become scan I/O) and
+    link-checked before it is returned, so ``graph.report`` carries the
+    full picture and ``graph.report.ok`` gates any further use.
+    """
+    graph = NetGraph(name or _default_name(path), path=path)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        m = _DECL_RE.match(line)
+        if m:
+            if m.group("kind").upper() == "INPUT":
+                graph.add_input(m.group("sig"), lineno)
+            else:
+                graph.add_output(m.group("sig"), lineno)
+            continue
+        m = _ASSIGN_RE.match(line)
+        if m is None:
+            graph._diag(
+                "syntax", ERROR,
+                f"unrecognized .bench line: {line!r}", line=lineno,
+            )
+            continue
+        op = _OP_ALIASES.get(m.group("op").upper())
+        if op is None:
+            graph._diag(
+                "syntax", ERROR,
+                f"unknown .bench operator {m.group('op')!r}",
+                line=lineno, net=m.group("out"),
+            )
+            continue
+        args = tuple(
+            a.strip() for a in m.group("args").split(",") if a.strip()
+        )
+        if not args:
+            graph._diag(
+                "syntax", ERROR,
+                f"operator {op} of {m.group('out')!r} has no inputs",
+                line=lineno, net=m.group("out"),
+            )
+            continue
+        if op in _UNARY and len(args) != 1:
+            graph._diag(
+                "syntax", ERROR,
+                f"{op} takes exactly one input, got {len(args)}",
+                line=lineno, net=m.group("out"),
+            )
+            continue
+        graph.add_node(op, m.group("out"), args, lineno)
+    converted = graph.scan_convert()
+    converted.link()
+    return converted
+
+
+def _default_name(path: Optional[str]) -> str:
+    if not path:
+        return "bench"
+    base = path.replace("\\", "/").rsplit("/", 1)[-1]
+    return base.rsplit(".", 1)[0] or "bench"

@@ -1,0 +1,349 @@
+"""Lower a :class:`~repro.netlist.ingest.graph.NetGraph` onto standard cells.
+
+Foreign formats speak in abstract operators (``NAND`` of any arity);
+the engines speak in library cells with fixed pin lists.  This module
+bridges the two with a deterministic structural mapping:
+
+* variadic operators become balanced trees of 2-input cells, with the
+  3-input ``NAND3X1`` / ``NOR3X1`` used directly where they fit;
+* every operator has fallback realizations (``AND = INV(NAND)``,
+  ``XOR`` from AND/OR/INV, ...) so restricted library variants — the
+  paper's cell-exclusion ablations — still map, as long as the subset
+  retains basic completeness;
+* foreign signal names are sanitized into the native netlist charset
+  (collisions disambiguated deterministically) and **kept** wherever
+  possible, so diagnostics, fault sites and reports on the ingested
+  design still read in the source file's vocabulary.
+
+The mapping is intentionally *not* the optimizing AIG cover of
+:mod:`repro.synthesis.techmap`: ingestion must preserve the foreign
+netlist's structure (its gate count and topology are the benchmark),
+not re-synthesize it.  Callers who want an optimized remap can run the
+ingested circuit through ``synthesize()`` afterwards.
+
+``cells`` is any mapping of cell name to a :class:`~repro.netlist.
+circuit.CellDef`-shaped object (``input_pins`` / ``output_pin``), e.g.
+the OSU018 library or one of its variants; ``None`` assumes the full
+OSU018 naming so the netlist layer keeps zero dependency on the library
+layer.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.netlist.circuit import CONST0, CONST1, Circuit
+from repro.netlist.ingest.graph import NetGraph, Node
+from repro.netlist.validate import ERROR, Diagnostic
+
+_CONSTS = frozenset((CONST0, CONST1))
+
+#: Default pin lists when no cell mapping is supplied (full OSU018).
+_DEFAULT_PINS: Dict[str, Tuple[str, ...]] = {
+    "INVX1": ("A",), "INVX2": ("A",), "INVX4": ("A",), "INVX8": ("A",),
+    "BUFX2": ("A",), "BUFX4": ("A",),
+    "NAND2X1": ("A", "B"), "NAND3X1": ("A", "B", "C"),
+    "NOR2X1": ("A", "B"), "NOR3X1": ("A", "B", "C"),
+    "AND2X1": ("A", "B"), "AND2X2": ("A", "B"),
+    "OR2X1": ("A", "B"), "OR2X2": ("A", "B"),
+    "XOR2X1": ("A", "B"), "XNOR2X1": ("A", "B"),
+}
+
+_SAFE_RE = re.compile(r"[^A-Za-z0-9_\[\]\.$]")
+
+
+class LowerError(Exception):
+    """The available cell subset cannot realize a required operator."""
+
+
+class _CellPicker:
+    """Resolve abstract 1/2-input operators to available cells."""
+
+    def __init__(self, cells: Optional[Mapping[str, object]]):
+        self._cells = cells
+
+    def has(self, name: str) -> bool:
+        if self._cells is None:
+            return name in _DEFAULT_PINS
+        return name in self._cells
+
+    def pins(self, name: str) -> Tuple[str, ...]:
+        if self._cells is None:
+            return _DEFAULT_PINS[name]
+        return tuple(self._cells[name].input_pins)
+
+    def first(self, *names: str) -> Optional[str]:
+        for name in names:
+            if self.has(name):
+                return name
+        return None
+
+
+class Lowerer:
+    """One-shot lowering of a linked, error-free graph."""
+
+    def __init__(
+        self,
+        graph: NetGraph,
+        cells: Optional[Mapping[str, object]] = None,
+        name: Optional[str] = None,
+    ):
+        self.graph = graph
+        self.pick = _CellPicker(cells)
+        self.circuit = Circuit(name or graph.name)
+        self.gate_lines: Dict[str, int] = {}
+        self._rename: Dict[str, str] = {}
+        self._taken: Dict[str, str] = {}  # safe name -> foreign owner
+        self._gate_uid = 0
+
+    # ------------------------------------------------------------------
+    # Names
+    # ------------------------------------------------------------------
+    def net(self, foreign: str) -> str:
+        """Sanitized, collision-free native name for a foreign signal."""
+        if foreign in _CONSTS:
+            return foreign
+        got = self._rename.get(foreign)
+        if got is not None:
+            return got
+        safe = _SAFE_RE.sub("_", foreign) or "_"
+        if safe in _CONSTS:
+            safe += "_sig"
+        candidate = safe
+        serial = 0
+        while candidate in self._taken and self._taken[candidate] != foreign:
+            serial += 1
+            candidate = f"{safe}_{serial}"
+        self._taken[candidate] = foreign
+        self._rename[foreign] = candidate
+        return candidate
+
+    def rename_map(self) -> Dict[str, str]:
+        """Foreign -> native names that actually changed."""
+        return {f: n for f, n in self._rename.items() if f != n}
+
+    def _fresh_net(self) -> str:
+        return self.circuit.fresh_net("w")
+
+    def _gate_name(self) -> str:
+        self._gate_uid += 1
+        return f"u{self._gate_uid}"
+
+    # ------------------------------------------------------------------
+    # Cell emission
+    # ------------------------------------------------------------------
+    def _emit(self, cell: str, ins: Sequence[str], out: Optional[str],
+              line: Optional[int]) -> str:
+        pins = self.pick.pins(cell)
+        if out is None:
+            out = self._fresh_net()
+        gname = self._gate_name()
+        self.circuit.add_gate(gname, cell, dict(zip(pins, ins)), out)
+        if line is not None:
+            self.gate_lines[gname] = line
+        return out
+
+    def _inv(self, a: str, out: Optional[str], line) -> str:
+        cell = self.pick.first("INVX1", "INVX2", "INVX4", "INVX8")
+        if cell:
+            return self._emit(cell, (a,), out, line)
+        cell = self.pick.first("NAND2X1", "NOR2X1")
+        if cell:
+            return self._emit(cell, (a, a), out, line)
+        raise LowerError("no inverter-capable cell available")
+
+    def _buf(self, a: str, out: Optional[str], line) -> str:
+        cell = self.pick.first("BUFX2", "BUFX4")
+        if cell:
+            return self._emit(cell, (a,), out, line)
+        return self._inv(self._inv(a, None, line), out, line)
+
+    def _and2(self, a: str, b: str, out: Optional[str], line) -> str:
+        cell = self.pick.first("AND2X1", "AND2X2")
+        if cell:
+            return self._emit(cell, (a, b), out, line)
+        if self.pick.has("NAND2X1"):
+            return self._inv(
+                self._emit("NAND2X1", (a, b), None, line), out, line
+            )
+        if self.pick.has("NOR2X1"):  # AND(a,b) = NOR(~a, ~b)
+            return self._emit(
+                "NOR2X1",
+                (self._inv(a, None, line), self._inv(b, None, line)),
+                out, line,
+            )
+        raise LowerError("no AND-capable cell available")
+
+    def _or2(self, a: str, b: str, out: Optional[str], line) -> str:
+        cell = self.pick.first("OR2X1", "OR2X2")
+        if cell:
+            return self._emit(cell, (a, b), out, line)
+        if self.pick.has("NOR2X1"):
+            return self._inv(
+                self._emit("NOR2X1", (a, b), None, line), out, line
+            )
+        if self.pick.has("NAND2X1"):  # OR(a,b) = NAND(~a, ~b)
+            return self._emit(
+                "NAND2X1",
+                (self._inv(a, None, line), self._inv(b, None, line)),
+                out, line,
+            )
+        raise LowerError("no OR-capable cell available")
+
+    def _nand2(self, a: str, b: str, out: Optional[str], line) -> str:
+        if self.pick.has("NAND2X1"):
+            return self._emit("NAND2X1", (a, b), out, line)
+        return self._inv(self._and2(a, b, None, line), out, line)
+
+    def _nor2(self, a: str, b: str, out: Optional[str], line) -> str:
+        if self.pick.has("NOR2X1"):
+            return self._emit("NOR2X1", (a, b), out, line)
+        return self._inv(self._or2(a, b, None, line), out, line)
+
+    def _xor2(self, a: str, b: str, out: Optional[str], line) -> str:
+        if self.pick.has("XOR2X1"):
+            return self._emit("XOR2X1", (a, b), out, line)
+        if self.pick.has("XNOR2X1"):
+            return self._inv(
+                self._emit("XNOR2X1", (a, b), None, line), out, line
+            )
+        na, nb = self._inv(a, None, line), self._inv(b, None, line)
+        return self._or2(
+            self._and2(a, nb, None, line),
+            self._and2(na, b, None, line), out, line,
+        )
+
+    def _xnor2(self, a: str, b: str, out: Optional[str], line) -> str:
+        if self.pick.has("XNOR2X1"):
+            return self._emit("XNOR2X1", (a, b), out, line)
+        return self._inv(self._xor2(a, b, None, line), out, line)
+
+    # ------------------------------------------------------------------
+    # Trees
+    # ------------------------------------------------------------------
+    def _tree(self, op2, nets: Sequence[str], out: Optional[str],
+              line) -> str:
+        """Balanced reduction of *nets* under a 2-input builder."""
+        if len(nets) == 1:
+            return self._buf(nets[0], out, line)
+        level = list(nets)
+        while len(level) > 2:
+            nxt: List[str] = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(op2(level[i], level[i + 1], None, line))
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        return op2(level[0], level[1], out, line)
+
+    def _inverted_tree(self, op2, cell3: str, root2, nets: Sequence[str],
+                       out: Optional[str], line) -> str:
+        """NAND/NOR of any arity: reduce with *op2*, complement at root.
+
+        ``cell3`` (NAND3X1/NOR3X1) is used directly for arity 3; larger
+        arities split into two subtrees joined by the 2-input
+        complementing root *root2*.
+        """
+        if len(nets) == 1:
+            return self._inv(nets[0], out, line)
+        if len(nets) == 2:
+            return root2(nets[0], nets[1], out, line)
+        if len(nets) == 3 and self.pick.has(cell3):
+            return self._emit(cell3, tuple(nets), out, line)
+        half = (len(nets) + 1) // 2
+        left = self._tree(op2, nets[:half], None, line)
+        right = self._tree(op2, nets[half:], None, line)
+        return root2(left, right, out, line)
+
+    # ------------------------------------------------------------------
+    def lower_node(self, node: Node) -> None:
+        ins = [self.net(i) for i in node.inputs]
+        out = self.net(node.output)
+        line = node.line
+        op = node.op
+        if op == "NOT":
+            self._inv(ins[0], out, line)
+        elif op == "BUF":
+            self._buf(ins[0], out, line)
+        elif op == "AND":
+            self._tree(self._and2, ins, out, line)
+        elif op == "OR":
+            self._tree(self._or2, ins, out, line)
+        elif op == "NAND":
+            self._inverted_tree(
+                self._and2, "NAND3X1", self._nand2, ins, out, line
+            )
+        elif op == "NOR":
+            self._inverted_tree(
+                self._or2, "NOR3X1", self._nor2, ins, out, line
+            )
+        elif op == "XOR":
+            if len(ins) == 1:
+                self._buf(ins[0], out, line)
+            else:
+                folded = self._tree(self._xor2, ins, out, line)
+                assert folded == out
+        elif op == "XNOR":
+            if len(ins) == 1:
+                self._inv(ins[0], out, line)
+            else:
+                head = ins[0] if len(ins) == 2 else self._tree(
+                    self._xor2, ins[:-1], None, line
+                )
+                self._xnor2(head, ins[-1], out, line)
+        else:  # pragma: no cover - parsers only emit known ops
+            raise LowerError(f"unknown operator {op!r}")
+
+
+def lower_graph(
+    graph: NetGraph,
+    cells: Optional[Mapping[str, object]] = None,
+    name: Optional[str] = None,
+) -> Tuple[Optional[Circuit], Dict[str, int], Dict[str, str]]:
+    """Map *graph* onto standard cells.
+
+    Returns ``(circuit, gate_lines, renames)``; ``circuit`` is ``None``
+    when lowering hit a structural impossibility, which is recorded on
+    ``graph.report`` as a located ERROR diagnostic (``reserved-name``
+    for signals colliding with the constant nets, ``unmappable-op``
+    when the cell subset lacks the needed logic).  *graph* must be
+    link-clean (``graph.report.ok``) — lowering a graph with undriven
+    or multi-driven signals raises :class:`LowerError` outright.
+    """
+    if not graph.report.ok:
+        raise LowerError(
+            "cannot lower a graph with link errors; consult graph.report"
+        )
+    lw = Lowerer(graph, cells=cells, name=name)
+    for node in graph.nodes:
+        if node.output in _CONSTS:
+            graph.report.diagnostics.append(Diagnostic(
+                code="reserved-name", severity=ERROR,
+                message=(
+                    f"signal {node.output!r} collides with a reserved "
+                    "constant net and cannot be driven"
+                ),
+                net=node.output, line=node.line, path=graph.path,
+            ))
+            return None, {}, {}
+    for foreign in graph.inputs:
+        lw.circuit.add_input(lw.net(foreign))
+    # Reserve every foreign name up front so decomposition-internal
+    # fresh nets can never collide with a signal that appears later.
+    lw.circuit.reserve_net_names(
+        lw.net(s)
+        for node in graph.nodes
+        for s in (node.output, *node.inputs)
+    )
+    try:
+        for node in graph.nodes:
+            lw.lower_node(node)
+    except LowerError as exc:
+        graph.report.diagnostics.append(Diagnostic(
+            code="unmappable-op", severity=ERROR,
+            message=str(exc), path=graph.path,
+        ))
+        return None, {}, {}
+    lw.circuit.set_outputs([lw.net(o) for o in graph.outputs])
+    return lw.circuit, lw.gate_lines, lw.rename_map()

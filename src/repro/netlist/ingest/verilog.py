@@ -1,0 +1,359 @@
+"""Structural gate-level Verilog front end (a deliberately small subset).
+
+Accepted grammar — one module per file, primitive-gate structural style
+as emitted by synthesis tools in "gate-level netlist" mode::
+
+    // line comments and /* block comments */
+    module top (a, b, cin, sum, cout);
+      input a, b, cin;
+      output sum, cout;
+      wire w1, w2, w3;
+      xor g1 (w1, a, b);
+      xor g2 (sum, w1, cin);
+      and g3 (w2, a, b);
+      and    (w3, w1, cin);      // instance name optional
+      or  g5 (cout, w2, w3);
+      assign dbg = w1;           // alias / buffer
+    endmodule
+
+* **Declarations** — ``input`` / ``output`` / ``wire`` with an optional
+  ``[msb:lsb]`` range; a ranged declaration expands to per-bit nets
+  ``name[i]`` (msb first).  ANSI-style port directions inside the module
+  header are accepted too.
+* **Primitive gates** — ``and nand or nor xor xnor`` (first port is the
+  output, any number of inputs) and ``not buf`` (last port is the
+  input, every earlier port an output).  Several instances may share one
+  statement (``and g1 (...), g2 (...);``).
+* **assign** — right-hand side restricted to a plain signal, a bit
+  select, or the constants ``1'b0`` / ``1'b1`` (tied to the reserved
+  constant nets).
+* **Flops** — not part of the subset; a ``module``-level instantiation
+  of an unknown primitive is a located ``syntax`` diagnostic.  (Scan
+  handling lives in the ``.bench`` front end, where ISCAS-89 keeps its
+  state elements.)
+
+Everything else (behavioural blocks, parameters, generate, hierarchical
+instances) is out of scope and produces a located diagnostic rather
+than a misparse: the parser never raises, and ``graph.report.ok`` gates
+any further use of the result.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, Optional, Tuple
+
+from repro.netlist.circuit import CONST0, CONST1
+from repro.netlist.ingest.graph import NetGraph
+from repro.netlist.validate import ERROR, WARNING
+
+_PRIMITIVES = {
+    "and": "AND", "nand": "NAND", "or": "OR", "nor": "NOR",
+    "xor": "XOR", "xnor": "XNOR", "not": "NOT", "buf": "BUF",
+}
+
+_IDENT = r"[A-Za-z_][A-Za-z0-9_$]*"
+_SIGNAL_RE = re.compile(rf"^{_IDENT}(\[\d+\])?$")
+_RANGE_RE = re.compile(r"^\[\s*(\d+)\s*:\s*(\d+)\s*\]")
+_MODULE_RE = re.compile(
+    rf"^module\s+(?P<name>{_IDENT})\s*(?:\((?P<ports>.*)\))?\s*$",
+    re.DOTALL,
+)
+_INSTANCE_RE = re.compile(rf"(?:(?P<inst>{_IDENT})\s*)?\((?P<ports>[^()]*)\)")
+_CONSTANTS = {"1'b0": CONST0, "1'b1": CONST1, "1'd0": CONST0, "1'd1": CONST1}
+
+
+def _strip_comments(text: str) -> str:
+    """Remove ``//`` and ``/* */`` comments, preserving line structure."""
+    out: List[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+        elif ch == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            end = n if j < 0 else j + 2
+            out.append("\n" * text.count("\n", i, end))
+            i = end
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _statements(text: str) -> Iterator[Tuple[int, str]]:
+    """Yield ``(start_line, statement)`` pairs, split on ``;``.
+
+    ``endmodule`` terminates a statement on its own (no semicolon in
+    the language), so it is promoted to a separate statement.
+    """
+    text = re.sub(r"\bendmodule\b", ";endmodule;", text)
+    line = 1
+    buf: List[str] = []
+    start = 1
+    has_content = False
+    for ch in text:
+        if ch == ";":
+            if has_content:
+                yield start, "".join(buf).strip()
+            buf = []
+            has_content = False
+        else:
+            if not has_content and not ch.isspace():
+                start = line
+                has_content = True
+            buf.append(ch)
+        if ch == "\n":
+            line += 1
+    if has_content:
+        yield start, "".join(buf).strip()
+
+
+class _Parser:
+    def __init__(self, graph: NetGraph):
+        self.graph = graph
+        self.in_module = False
+        self.done = False
+        # name -> (msb, lsb) for ranged declarations; None for scalars.
+        self.widths: dict = {}
+        self.declared_dirs: dict = {}
+        # Header port order; directions may arrive later (non-ANSI).
+        self.header_ports: List[str] = []
+
+    # ------------------------------------------------------------------
+    def expand(self, name: str, rng: Optional[Tuple[int, int]]) -> List[str]:
+        if rng is None:
+            return [name]
+        msb, lsb = rng
+        step = -1 if msb >= lsb else 1
+        return [f"{name}[{i}]" for i in range(msb, lsb + step, step)]
+
+    def declare(self, direction: str, name: str,
+                rng: Optional[Tuple[int, int]], line: int) -> None:
+        self.widths[name] = rng
+        if direction == "wire":
+            return
+        prior = self.declared_dirs.get(name)
+        if prior is not None and prior != direction:
+            self.graph._diag(
+                "syntax", ERROR,
+                f"port {name!r} declared both {prior} and {direction}",
+                line=line, net=name,
+            )
+            return
+        if prior == direction:
+            self.graph._diag(
+                "syntax", ERROR,
+                f"duplicate {direction} declaration of {name!r}",
+                line=line, net=name,
+            )
+            return
+        self.declared_dirs[name] = direction
+        for bit in self.expand(name, rng):
+            if direction == "input":
+                self.graph.add_input(bit, line)
+            else:
+                self.graph.add_output(bit, line)
+
+    def resolve(self, token: str, line: int) -> Optional[str]:
+        """A port-connection token -> net name (None on a diagnostic)."""
+        token = token.strip()
+        const = _CONSTANTS.get(token.replace(" ", ""))
+        if const is not None:
+            return const
+        if not _SIGNAL_RE.match(token):
+            self.graph._diag(
+                "syntax", ERROR,
+                f"unsupported expression {token!r} in port connection "
+                "(subset allows plain signals, bit selects and 1'b0/1'b1)",
+                line=line,
+            )
+            return None
+        if "[" not in token and self.widths.get(token) is not None:
+            self.graph._diag(
+                "syntax", ERROR,
+                f"vector {token!r} used without a bit select",
+                line=line, net=token,
+            )
+            return None
+        return token
+
+    # ------------------------------------------------------------------
+    def parse_decl_list(self, body: str, line: int, direction: str) -> None:
+        body = body.strip()
+        rng = None
+        m = _RANGE_RE.match(body)
+        if m:
+            rng = (int(m.group(1)), int(m.group(2)))
+            body = body[m.end():]
+        for name in body.split(","):
+            name = name.strip()
+            if not name:
+                continue
+            if not re.match(rf"^{_IDENT}$", name):
+                self.graph._diag(
+                    "syntax", ERROR,
+                    f"bad {direction} declaration {name!r}", line=line,
+                )
+                continue
+            self.declare(direction, name, rng, line)
+
+    def parse_header_ports(self, ports: str, line: int) -> None:
+        """Module header port list, plain or ANSI-style."""
+        direction = None
+        rng = None
+        for item in ports.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            m = re.match(r"^(input|output|inout)\b\s*(.*)$", item, re.DOTALL)
+            if m:
+                direction = m.group(1)
+                item = m.group(2).strip()
+                rng = None
+                if direction == "inout":
+                    self.graph._diag(
+                        "syntax", ERROR,
+                        "inout ports are outside the structural subset",
+                        line=line,
+                    )
+                    direction = None
+                    continue
+                r = _RANGE_RE.match(item)
+                if r:
+                    rng = (int(r.group(1)), int(r.group(2)))
+                    item = item[r.end():].strip()
+            if not item:
+                continue
+            if not re.match(rf"^{_IDENT}$", item):
+                self.graph._diag(
+                    "syntax", ERROR, f"bad port {item!r}", line=line,
+                )
+                continue
+            self.header_ports.append(item)
+            if direction is not None:
+                self.declare(direction, item, rng, line)
+
+    def parse_gate(self, op: str, rest: str, line: int) -> None:
+        found = False
+        for m in _INSTANCE_RE.finditer(rest):
+            found = True
+            ports = [
+                p for p in (t.strip() for t in m.group("ports").split(","))
+                if p
+            ]
+            nets = [self.resolve(p, line) for p in ports]
+            if any(n is None for n in nets):
+                continue
+            if op in ("NOT", "BUF"):
+                if len(nets) < 2:
+                    self.graph._diag(
+                        "syntax", ERROR,
+                        f"{op.lower()} needs at least one output and one "
+                        f"input, got {len(nets)} port(s)", line=line,
+                    )
+                    continue
+                src = nets[-1]
+                for out in nets[:-1]:
+                    self.graph.add_node(op, out, (src,), line)
+            else:
+                if len(nets) < 3:
+                    self.graph._diag(
+                        "syntax", ERROR,
+                        f"{op.lower()} needs one output and at least two "
+                        f"inputs, got {len(nets)} port(s)", line=line,
+                    )
+                    continue
+                self.graph.add_node(op, nets[0], tuple(nets[1:]), line)
+        if not found:
+            self.graph._diag(
+                "syntax", ERROR,
+                f"malformed {op.lower()} instantiation", line=line,
+            )
+
+    def parse_assign(self, rest: str, line: int) -> None:
+        lhs, eq, rhs = rest.partition("=")
+        if not eq:
+            self.graph._diag(
+                "syntax", ERROR, "malformed assign (no '=')", line=line,
+            )
+            return
+        dst = self.resolve(lhs, line)
+        src = self.resolve(rhs, line)
+        if dst is None or src is None:
+            return
+        self.graph.add_node("BUF", dst, (src,), line)
+
+    # ------------------------------------------------------------------
+    def feed(self, line: int, stmt: str) -> None:
+        stmt = re.sub(r"\s+", " ", stmt).strip()
+        if self.done:
+            self.graph._diag(
+                "syntax", ERROR,
+                "statement after endmodule (one module per file)",
+                line=line,
+            )
+            return
+        if not self.in_module:
+            m = _MODULE_RE.match(stmt)
+            if m is None:
+                self.graph._diag(
+                    "syntax", ERROR,
+                    f"expected 'module', got {stmt[:40]!r}", line=line,
+                )
+                return
+            self.in_module = True
+            self.graph.name = m.group("name")
+            if m.group("ports"):
+                self.parse_header_ports(m.group("ports"), line)
+            return
+        if stmt == "endmodule":
+            self.done = True
+            return
+        for direction in ("input", "output", "wire"):
+            m = re.match(rf"^{direction}\b(.*)$", stmt, re.DOTALL)
+            if m:
+                self.parse_decl_list(m.group(1), line, direction)
+                return
+        m = re.match(rf"^({_IDENT})\b(.*)$", stmt, re.DOTALL)
+        if m and m.group(1) in _PRIMITIVES:
+            self.parse_gate(_PRIMITIVES[m.group(1)], m.group(2), line)
+            return
+        if m and m.group(1) == "assign":
+            self.parse_assign(m.group(2), line)
+            return
+        self.graph._diag(
+            "syntax", ERROR,
+            f"unsupported statement {stmt[:60]!r} (structural subset: "
+            "declarations, primitive gates, assign)", line=line,
+        )
+
+
+def parse_verilog(text: str, path: Optional[str] = None,
+                  name: Optional[str] = None) -> NetGraph:
+    """Parse structural Verilog *text* into a linked :class:`NetGraph`.
+
+    Recovering like :func:`~repro.netlist.ingest.bench.parse_bench`:
+    statements outside the subset become located ``syntax`` diagnostics
+    and are skipped; the graph is link-checked before being returned.
+    """
+    graph = NetGraph(name or "top", path=path)
+    parser = _Parser(graph)
+    for line, stmt in _statements(_strip_comments(text)):
+        parser.feed(line, stmt)
+    if not parser.in_module:
+        graph._diag("syntax", ERROR, "no 'module' found")
+    elif not parser.done:
+        graph._diag("syntax", WARNING, "missing 'endmodule'")
+    # Header ports without a direction declaration anywhere.
+    for port in parser.header_ports:
+        if port not in parser.declared_dirs:
+            graph._diag(
+                "syntax", ERROR,
+                f"port {port!r} has no input/output declaration",
+                net=port,
+            )
+    graph.link()
+    return graph

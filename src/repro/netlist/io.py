@@ -42,12 +42,38 @@ def write_netlist(circuit: Circuit) -> str:
     return "\n".join(lines) + "\n"
 
 
-def _located(path: Optional[str], lineno: Optional[int], message: str) -> NetlistError:
-    """A :class:`NetlistError` prefixed with its source location."""
+def _located(
+    path: Optional[str],
+    lineno: Optional[int],
+    message: str,
+    code: str = "syntax",
+) -> NetlistError:
+    """A :class:`NetlistError` prefixed with its source location.
+
+    *code* is the matching lint diagnostic code (see
+    :mod:`repro.netlist.validate`); it rides on the exception's
+    ``code`` attribute together with ``path``/``line`` so callers can
+    handle parse failures like lint findings instead of string-matching.
+    """
     where = path or "<netlist>"
     if lineno is not None:
         where = f"{where}:{lineno}"
-    return NetlistError(f"{where}: {message}")
+    return NetlistError(f"{where}: {message}", code=code, path=path, line=lineno)
+
+
+#: Map a :meth:`Circuit.validate` failure message onto its lint code.
+_VALIDATE_CODES = (
+    ("output net", "floating-output"),
+    ("undriven", "undriven-net"),
+    ("cycle", "combinational-loop"),
+)
+
+
+def _validate_code(message: str) -> str:
+    for marker, code in _VALIDATE_CODES:
+        if marker in message:
+            return code
+    return "syntax"
 
 
 def parse_netlist(text: str, path: Optional[str] = None) -> Circuit:
@@ -80,10 +106,15 @@ def parse_netlist(text: str, path: Optional[str] = None) -> Circuit:
             elif kind == "input":
                 _require(circuit, path, lineno)
                 for name in tokens[1:]:
+                    dup = name in circuit.inputs \
+                        or circuit.driver(name) is not None
                     try:
                         circuit.add_input(name)
                     except NetlistError as exc:
-                        raise _located(path, lineno, str(exc)) from exc
+                        raise _located(
+                            path, lineno, str(exc),
+                            code="multi-driven-net" if dup else "syntax",
+                        ) from exc
             elif kind == "output":
                 _require(circuit, path, lineno)
                 for name in tokens[1:]:
@@ -107,10 +138,16 @@ def parse_netlist(text: str, path: Optional[str] = None) -> Circuit:
                     raise _located(
                         path, lineno, "expected single output net after '>'"
                     )
+                out_net = tokens[arrow + 1]
+                dup = circuit.driver(out_net) is not None \
+                    or out_net in circuit.inputs
                 try:
-                    circuit.add_gate(name, cell, pins, tokens[arrow + 1])
+                    circuit.add_gate(name, cell, pins, out_net)
                 except NetlistError as exc:
-                    raise _located(path, lineno, str(exc)) from exc
+                    raise _located(
+                        path, lineno, str(exc),
+                        code="multi-driven-net" if dup else "syntax",
+                    ) from exc
                 gate_lines[name] = lineno
             else:
                 raise _located(path, lineno, f"unknown directive {kind!r}")
@@ -127,9 +164,28 @@ def parse_netlist(text: str, path: Optional[str] = None) -> Circuit:
         circuit.validate()
     except NetlistError as exc:
         raise _located(
-            path, _blame_line(str(exc), gate_lines, output_lines), str(exc)
+            path, _blame_line(str(exc), gate_lines, output_lines), str(exc),
+            code=_validate_code(str(exc)),
         ) from exc
     return circuit
+
+
+def parse_file(
+    path: str,
+    fmt: Optional[str] = None,
+    cells: Optional[Dict[str, object]] = None,
+) -> Circuit:
+    """Load a netlist file in any supported format (strict).
+
+    The native text format parses via :func:`parse_netlist`; ``.bench``
+    and structural Verilog go through :mod:`repro.netlist.ingest`, which
+    technology-maps them onto standard cells.  *fmt* overrides the
+    extension-based format detection.  Raises :class:`NetlistError`
+    (with ``code``/``path``/``line`` context) on any defect.
+    """
+    from repro.netlist.ingest import load_file
+
+    return load_file(path, fmt=fmt, cells=cells)
 
 
 def _blame_line(

@@ -212,7 +212,9 @@ def lint_circuit(
     while queue:
         name = queue.pop()
         ordered += 1
-        for succ in circuit.gate_fanout_gates(name):
+        # Relax one edge per load *pin*, mirroring the per-pin indegree
+        # above — a gate tying two pins to the same net is not a cycle.
+        for succ, _pin in circuit.loads(circuit.gates[name].output):
             indeg[succ] -= 1
             if indeg[succ] == 0:
                 queue.append(succ)

@@ -6,6 +6,8 @@
     python -m repro.runner resume <run_id> [--out DIR]
     python -m repro.runner report <run_id> [--out DIR] [--normalized]
     python -m repro.runner check  <run_id> [--out DIR]
+    python -m repro.runner check  --netlist FILE [--format bench]
+    python -m repro.runner ingest FILE... [--format auto] [--variant full]
     python -m repro.runner diff   <run_a> <run_b> [--out DIR]
 
 ``run`` builds a paper-sweep campaign (or loads ``--campaign file.json``)
@@ -142,6 +144,38 @@ def _build_parser() -> argparse.ArgumentParser:
         help="lint a netlist file instead of checking a run journal "
              "(repeatable; exit 1 on any structural error)",
     )
+    chk.add_argument(
+        "--format", default="auto",
+        choices=("auto", "netlist", "bench", "verilog"),
+        help="netlist format for --netlist files "
+             "(default: detect from extension/content)",
+    )
+
+    ing = sub.add_parser(
+        "ingest",
+        help="parse + lint + technology-map foreign netlists "
+             "(.bench / structural Verilog / native)",
+    )
+    ing.add_argument("files", nargs="+", metavar="FILE")
+    ing.add_argument(
+        "--format", default="auto",
+        choices=("auto", "netlist", "bench", "verilog"),
+        help="input format (default: detect from extension/content)",
+    )
+    ing.add_argument(
+        "--variant", default="full",
+        help="library variant to map onto (full, drop<k>, "
+             "exclude:<a>,<b>; default: %(default)s)",
+    )
+    ing.add_argument(
+        "--save", default=None, metavar="DIR",
+        help="also write each mapped circuit as native netlist text "
+             "into DIR",
+    )
+    ing.add_argument(
+        "--json", action="store_true",
+        help="machine-readable summary on stdout",
+    )
 
     dif = sub.add_parser(
         "diff", help="compare two runs' normalized reports"
@@ -236,7 +270,7 @@ def _cmd_report(args) -> int:
 
 def _cmd_check(args) -> int:
     if args.netlist:
-        return _check_netlists(args.netlist)
+        return _check_netlists(args.netlist, args.format)
     if not args.run_id:
         print(
             "error: check needs a run_id or at least one --netlist FILE",
@@ -268,28 +302,92 @@ def _cmd_check(args) -> int:
     return 0
 
 
-def _check_netlists(paths) -> int:
-    """Lint netlist files with the structural validator (check --netlist)."""
-    from repro.library import osu018_library
-    from repro.netlist.validate import lint_netlist_text
+def _check_netlists(paths, fmt: str = "auto") -> int:
+    """Lint netlist files of any supported format (check --netlist).
 
-    cells = {c.name: c for c in osu018_library()}
+    Foreign formats (``.bench``, structural Verilog) are parsed,
+    link-checked and technology-mapped exactly like ``ingest`` does;
+    the native format goes through the recovering text linter.  Exit 1
+    on any structural error (warnings alone stay exit 0).
+    """
     failed = False
     for path in paths:
-        try:
-            with open(path) as fh:
-                text = fh.read()
-        except OSError as exc:
-            print(f"FAIL: {path}: {exc}")
+        design = _ingest_one(path, fmt, "full")
+        if design is None:
             failed = True
             continue
-        _circuit, report = lint_netlist_text(text, path=path, cells=cells)
-        if report.ok and not report.warnings:
+        if design.ok and not design.report.warnings:
             print(f"OK: {path}: clean")
         else:
-            print(report.render())
-            if not report.ok:
+            print(design.report.render())
+            if not design.report.ok:
                 failed = True
+    return 1 if failed else 0
+
+
+def _ingest_one(path: str, fmt: str, variant: str):
+    """Recovering ingest of one file for the CLI; None on I/O failure."""
+    from repro.netlist.ingest import IngestError, ingest_file
+    from repro.runner.tasks import _library_variant
+
+    try:
+        return ingest_file(
+            path,
+            fmt=None if fmt == "auto" else fmt,
+            cells=_library_variant(variant),
+        )
+    except (OSError, IngestError) as exc:
+        print(f"FAIL: {path}: {exc}")
+        return None
+
+
+def _cmd_ingest(args) -> int:
+    """Parse + lint + map netlist files; report per-file summaries."""
+    failed = False
+    summaries = []
+    for path in args.files:
+        design = _ingest_one(path, args.format, args.variant)
+        if design is None:
+            failed = True
+            continue
+        circuit = design.circuit
+        summary = {
+            "path": path,
+            "format": design.fmt,
+            "name": design.source_name,
+            "ok": design.ok,
+            "gates": len(circuit.gates) if circuit else 0,
+            "inputs": len(circuit.inputs) if circuit else 0,
+            "outputs": len(circuit.outputs) if circuit else 0,
+            "scan_cells": design.scan_cells,
+            "renamed_signals": len(design.renames),
+            "errors": len(design.report.errors),
+            "warnings": len(design.report.warnings),
+        }
+        summaries.append(summary)
+        if not design.ok:
+            failed = True
+        if not args.json:
+            status = "OK" if design.ok else "FAIL"
+            print(
+                f"{status}: {path} [{design.fmt}] {design.source_name}: "
+                f"{summary['gates']} gates, {summary['inputs']} PI, "
+                f"{summary['outputs']} PO, {design.scan_cells} scan cell(s)"
+            )
+            if design.report.diagnostics:
+                print(design.report.render())
+        if design.ok and args.save:
+            from repro.netlist.io import write_netlist
+
+            os.makedirs(args.save, exist_ok=True)
+            base = os.path.splitext(os.path.basename(path))[0] + ".nl"
+            out_path = os.path.join(args.save, base)
+            with open(out_path, "w", encoding="utf-8") as fh:
+                fh.write(write_netlist(circuit))
+            if not args.json:
+                print(f"  wrote {out_path}")
+    if args.json:
+        print(json.dumps(summaries, indent=2, sort_keys=True))
     return 1 if failed else 0
 
 
@@ -326,6 +424,7 @@ def main(argv: Optional[list] = None) -> int:
         "resume": _cmd_resume,
         "report": _cmd_report,
         "check": _cmd_check,
+        "ingest": _cmd_ingest,
         "diff": _cmd_diff,
     }
     return commands[args.command](args)

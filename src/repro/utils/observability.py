@@ -31,6 +31,17 @@ from typing import Dict, Iterator, List, Optional
 # step, so counters are never lost when merges race.
 _MERGE_LOCK = threading.Lock()
 
+# Cap on the ``EngineStats.warnings`` *display* list.  A long campaign
+# that degrades once per batch would otherwise accumulate thousands of
+# identical strings (every merge used to extend the list verbatim);
+# occurrences past the cap are still counted in ``warning_counts``.
+WARNINGS_CAP = 64
+
+
+def _warning_code(entry: str) -> str:
+    """The ``CODE`` of a ``"CODE: message"`` warning entry."""
+    return entry.split(":", 1)[0]
+
 
 @dataclass
 class EngineStats:
@@ -81,7 +92,12 @@ class EngineStats:
       pool silently falling back to threads would be invisible without
       this): ``"CODE: message"`` strings, appended via :func:`warn_coded`
       so callers without a stats instance still see a Python
-      ``RuntimeWarning``;
+      ``RuntimeWarning``.  The list is a bounded *display* set: one
+      entry per distinct code (the first message wins), at most
+      :data:`WARNINGS_CAP` entries, so merging thousands of worker
+      deltas cannot grow it without bound;
+    * ``warning_counts`` — total occurrences per warning code,
+      including every repeat the capped ``warnings`` list elides;
     * ``sat_calls`` / ``sat_conflicts`` / ``sat_propagations`` — exact
       ATPG solver effort;
     * ``sat_learned`` / ``sat_restarts`` — clauses the CDCL solver
@@ -132,6 +148,7 @@ class EngineStats:
     shm_bytes: int = 0
     shard_imbalance: float = 0.0
     warnings: List[str] = field(default_factory=list)
+    warning_counts: Dict[str, int] = field(default_factory=dict)
     sat_calls: int = 0
     sat_conflicts: int = 0
     sat_propagations: int = 0
@@ -192,7 +209,7 @@ class EngineStats:
         self.shard_imbalance = max(
             self.shard_imbalance, other.shard_imbalance
         )
-        self.warnings.extend(other.warnings)
+        self._merge_warnings(other)
         self.sat_calls += other.sat_calls
         self.sat_conflicts += other.sat_conflicts
         self.sat_propagations += other.sat_propagations
@@ -207,6 +224,30 @@ class EngineStats:
         self.degradations.extend(other.degradations)
         for name, seconds in other.phase_seconds.items():
             self.add_phase(name, seconds)
+
+    def _merge_warnings(self, other: "EngineStats") -> None:
+        """Fold warnings in: dedupe the display list by code, sum counts.
+
+        An instance whose ``warnings`` list was populated directly
+        (hand-constructed in tests, or by pre-``warning_counts`` code)
+        has an empty count map; its effective counts are derived from
+        the list so no occurrence is lost.
+        """
+        for inst in (self, other):
+            if not inst.warning_counts and inst.warnings:
+                for entry in inst.warnings:
+                    code = _warning_code(entry)
+                    inst.warning_counts[code] = \
+                        inst.warning_counts.get(code, 0) + 1
+        for code, n in other.warning_counts.items():
+            self.warning_counts[code] = self.warning_counts.get(code, 0) + n
+        represented = {_warning_code(e) for e in self.warnings}
+        for entry in other.warnings:
+            code = _warning_code(entry)
+            if code in represented or len(self.warnings) >= WARNINGS_CAP:
+                continue
+            represented.add(code)
+            self.warnings.append(entry)
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-serializable snapshot (used by the perf harness)."""
@@ -236,6 +277,7 @@ class EngineStats:
             "shm_bytes": self.shm_bytes,
             "shard_imbalance": self.shard_imbalance,
             "warnings": list(self.warnings),
+            "warning_counts": dict(self.warning_counts),
             "sat_calls": self.sat_calls,
             "sat_conflicts": self.sat_conflicts,
             "sat_propagations": self.sat_propagations,
@@ -263,9 +305,20 @@ def warn_coded(
     degraded execution mode *announced* itself), and the Python warning
     reaches callers that did not pass a stats instance — a requested
     process pool must never fall back to threads or serial silently.
+
+    ``stats.warnings`` follows the same bounded-display discipline as
+    :meth:`EngineStats.merge`: the first message of each code is kept
+    (capped at :data:`WARNINGS_CAP` entries), repeats only increment
+    ``stats.warning_counts[code]``.  The Python ``RuntimeWarning`` is
+    emitted every time; the normal warning filters collapse duplicates.
     """
     if stats is not None:
-        stats.warnings.append(f"{code}: {message}")
+        stats.warning_counts[code] = stats.warning_counts.get(code, 0) + 1
+        represented = any(
+            _warning_code(e) == code for e in stats.warnings
+        )
+        if not represented and len(stats.warnings) < WARNINGS_CAP:
+            stats.warnings.append(f"{code}: {message}")
     _pywarnings.warn(f"[{code}] {message}", RuntimeWarning, stacklevel=3)
 
 

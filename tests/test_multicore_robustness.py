@@ -41,7 +41,7 @@ from repro.faults.psim import (
 from repro.faults.model import StuckAtFault
 from repro.testing.chaos import ChaosConfig, chaos
 from repro.utils import seams
-from repro.utils.observability import EngineStats
+from repro.utils.observability import EngineStats, WARNINGS_CAP, warn_coded
 from tests.conftest import mixed_fault_list, random_mapped_circuit
 
 
@@ -240,6 +240,79 @@ def test_pools_are_cached_and_bounded(cells, library):
     assert len(psim._POOLS) <= psim._MAX_POOLS
 
 
+def test_shm_probe_failure_reason_reaches_fallback_warning(
+    cells, library, monkeypatch
+):
+    """The probe records *why* shared memory is unusable, and the
+    MC-FALLBACK-SHM warning carries that reason to the user."""
+
+    class NoShm:
+        def __init__(self, *a, **kw):
+            raise OSError("no /dev/shm mounted here")
+
+    monkeypatch.setattr(psim, "_SHM_PROBE", None)
+    monkeypatch.setattr(psim, "_SHM_PROBE_ERROR", None)
+    monkeypatch.setattr(psim.shared_memory, "SharedMemory", NoShm)
+    assert psim.shm_supported() is False
+    assert "no /dev/shm mounted here" in psim.shm_probe_error()
+
+    circuit, faults, batch = _workload(cells, library, seed=51)
+    stats = EngineStats()
+    with pytest.warns(RuntimeWarning, match="no /dev/shm mounted here"):
+        fault_simulate(
+            circuit, cells, faults, batch, workers=2,
+            backend="event", exec_mode="process", stats=stats,
+        )
+    assert any(
+        w.startswith("MC-FALLBACK-SHM") and "no /dev/shm mounted here" in w
+        for w in stats.warnings
+    )
+
+
+def test_shm_probe_unexpected_error_propagates(monkeypatch):
+    """A probe bug (non-OSError) must raise, not silently disable shm."""
+
+    class Broken:
+        def __init__(self, *a, **kw):
+            raise TypeError("probe called wrong")
+
+    monkeypatch.setattr(psim, "_SHM_PROBE", None)
+    monkeypatch.setattr(psim, "_SHM_PROBE_ERROR", None)
+    monkeypatch.setattr(psim.shared_memory, "SharedMemory", Broken)
+    with pytest.raises(TypeError, match="probe called wrong"):
+        psim.shm_supported()
+
+
+def test_tracker_unregister_failure_is_coded_not_silent(monkeypatch):
+    """A failed tracker withdrawal in _attach lands on the stats delta."""
+    from multiprocessing import resource_tracker
+
+    shm = psim.shared_memory.SharedMemory(create=True, size=64)
+    try:
+        monkeypatch.setitem(psim._WORKER_STATE, "shared_tracker", False)
+
+        def boom(name, rtype):
+            raise KeyError(name)
+
+        monkeypatch.setattr(resource_tracker, "unregister", boom)
+        stats = EngineStats()
+        with pytest.warns(RuntimeWarning, match="MC-TRACKER-UNREG"):
+            attached = psim._attach(shm.name, stats)
+        attached.close()
+        assert any(
+            w.startswith("MC-TRACKER-UNREG") for w in stats.warnings
+        )
+        assert stats.warning_counts.get("MC-TRACKER-UNREG") == 1
+    finally:
+        monkeypatch.undo()
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+        shm.close()
+        shm.unlink()
+
+
 def test_stats_merge_carries_multicore_counters():
     a = EngineStats(
         proc_shards=2, proc_workers=4, shm_bytes=100,
@@ -257,5 +330,50 @@ def test_stats_merge_carries_multicore_counters():
     assert a.warnings == ["MC-X: one", "MC-Y: two"]
     d = a.as_dict()
     for key in ("proc_shards", "proc_workers", "shm_bytes",
-                "shard_imbalance", "warnings"):
+                "shard_imbalance", "warnings", "warning_counts"):
         assert key in d
+
+
+def test_merge_dedupes_warnings_by_code_with_counts():
+    """Merging many shard deltas must not grow the list without bound:
+    one entry per code, with a count of how often it fired."""
+    total = EngineStats()
+    for i in range(200):
+        delta = EngineStats(warnings=[f"MC-FALLBACK-SHM: shard {i} fell back"])
+        total.merge(delta)
+    assert len(total.warnings) == 1
+    assert total.warnings[0] == "MC-FALLBACK-SHM: shard 0 fell back"
+    assert total.warning_counts["MC-FALLBACK-SHM"] == 200
+    # A distinct code still gets its own entry.
+    total.merge(EngineStats(warnings=["MC-TRACKER-UNREG: oops"]))
+    assert len(total.warnings) == 2
+    assert total.warning_counts["MC-TRACKER-UNREG"] == 1
+
+
+def test_warn_coded_dedupes_and_counts():
+    stats = EngineStats()
+    with pytest.warns(RuntimeWarning):
+        for _ in range(5):
+            warn_coded(stats, "MC-FALLBACK-PICKLE", "faults not picklable")
+    assert stats.warnings == ["MC-FALLBACK-PICKLE: faults not picklable"]
+    assert stats.warning_counts["MC-FALLBACK-PICKLE"] == 5
+    assert stats.as_dict()["warning_counts"]["MC-FALLBACK-PICKLE"] == 5
+
+
+def test_warnings_list_is_capped():
+    """Even with many *distinct* codes the stored list stays bounded;
+    counts keep the full tally."""
+    stats = EngineStats()
+    with pytest.warns(RuntimeWarning):
+        for i in range(WARNINGS_CAP + 40):
+            warn_coded(stats, f"MC-TEST-{i}", f"message {i}")
+    assert len(stats.warnings) == WARNINGS_CAP
+    assert len(stats.warning_counts) == WARNINGS_CAP + 40
+    # Merge obeys the same cap.
+    merged = EngineStats()
+    for i in range(WARNINGS_CAP + 40):
+        merged.merge(EngineStats(warnings=[f"MC-M-{i}: message {i}"]))
+    assert len(merged.warnings) == WARNINGS_CAP
+    assert len(merged.warning_counts) == WARNINGS_CAP + 40
+    assert all(merged.warning_counts[f"MC-M-{i}"] == 1
+               for i in range(WARNINGS_CAP + 40))

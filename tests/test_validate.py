@@ -91,6 +91,52 @@ class TestParseErrors:
         assert sorted(circuit.gates) == ["u1", "u2"]
 
 
+class TestParseErrorCodes:
+    """parse_netlist failures carry machine-readable code/path/line
+    attributes alongside the located message (PR 6 bugfix)."""
+
+    def _raise(self, text, path):
+        with pytest.raises(NetlistError) as excinfo:
+            parse_netlist(text, path=path)
+        return excinfo.value
+
+    def test_multi_driven_net_coded(self):
+        err = self._raise(GOOD + "gate u3 INVX1 A=a > y\n", "multi.nl")
+        assert err.code == "multi-driven-net"
+        assert err.path == "multi.nl"
+        assert err.line == 6
+
+    def test_undeclared_fanin_coded(self):
+        err = self._raise(UNDRIVEN, "bad.nl")
+        assert err.code == "undriven-net"
+        assert err.path == "bad.nl"
+        assert err.line == 4
+
+    def test_cycle_coded(self):
+        err = self._raise(LOOP, "loop.nl")
+        assert err.code == "combinational-loop"
+        assert err.path == "loop.nl"
+
+    def test_floating_output_coded(self):
+        text = GOOD.replace("output z", "output z ghost")
+        err = self._raise(text, "f.nl")
+        assert err.code == "floating-output"
+
+    def test_syntax_error_coded(self):
+        err = self._raise(GOOD.replace("A=a", "Aa"), "s.nl")
+        assert err.code == "syntax"
+        assert err.line == 4
+
+    def test_diagnostic_conversion(self):
+        err = self._raise(UNDRIVEN, "bad.nl")
+        diag = err.diagnostic()
+        assert diag.code == "undriven-net"
+        assert diag.severity == "error"
+        assert diag.path == "bad.nl"
+        assert diag.line == 4
+        assert "miss" in diag.message
+
+
 class TestLintCircuit:
     def test_clean_circuit_ok(self, cells):
         circuit = parse_netlist(GOOD)
@@ -134,6 +180,18 @@ class TestLintCircuit:
         assert diag.gate in ("u1", "u2")
         assert "u1" in diag.message and "u2" in diag.message
         assert "u3" not in diag.message
+
+    def test_duplicate_pin_net_is_not_a_loop(self):
+        # Regression: both pins on the same net used to leave the gate
+        # "stuck" in the Kahn pass and crash the cycle finder.
+        c = Circuit("c")
+        c.add_input("a")
+        c.add_gate("u1", "AND2X1", {"A": "a", "B": "a"}, "y")
+        c.add_gate("u2", "AND2X1", {"A": "y", "B": "y"}, "z")
+        c.set_outputs(["z"])
+        report = lint_circuit(c)
+        assert report.ok
+        assert not report.by_code("combinational-loop")
 
     def test_unknown_cell_and_bad_pins(self, cells):
         c = Circuit("c")
