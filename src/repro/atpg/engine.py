@@ -62,6 +62,7 @@ from repro.netlist.vsim import (
 )
 from repro.utils.observability import EngineStats, warn_coded
 from repro.utils.rng import make_rng
+from repro.utils.supervise import WorkerHungError
 
 
 @dataclass
@@ -74,6 +75,11 @@ class AtpgResult:
     # Faults whose SAT decision ran out of its resource budget: neither
     # detected nor proved undetectable.  Empty unless a budget was set.
     aborted: Set[str] = field(default_factory=set)
+    # Which budget tripped each aborted fault's decision — fault id to
+    # "deadline" / "conflicts" / "decisions" (or "injected" under the
+    # chaos seam).  Keyed per member fault like ``aborted``; surfaced in
+    # the report's DEGRADATIONS section.
+    abort_reasons: Dict[str, str] = field(default_factory=dict)
     # True when the aborted fraction exceeded the budget's global
     # tolerance: the run completed, but its U/Cov numbers are bounds,
     # not exact values.
@@ -338,8 +344,15 @@ def run_atpg(
                 exec_mode=exec_mode, stats=stats,
             )
         except (
-            ProcessExecUnavailable, WorkerCrashError, SharedMemoryCorruption
+            ProcessExecUnavailable, WorkerCrashError,
+            SharedMemoryCorruption, WorkerHungError,
         ) as exc:
+            if isinstance(exc, WorkerHungError):
+                # The failed attempt's staged stats were discarded (the
+                # serial rerun recounts the phase); fold the supervision
+                # story in from the exception so it stays observable.
+                stats.hung_workers += exc.hung_workers
+                stats.shard_retries += exc.shard_retries
             warn_coded(
                 stats, CODE_FALLBACK_ATPG,
                 f"atpg[{circuit.name}]: parallel SAT phase failed "
@@ -349,6 +362,7 @@ def run_atpg(
         detected_reps |= par_outcome.detected
         result.undetectable |= par_outcome.undetectable
         aborted_reps = par_outcome.aborted
+        abort_reason_reps = dict(par_outcome.abort_reasons)
         tests.extend(par_outcome.tests)
         result.sat_calls += par_outcome.sat_calls
         stats.sat_calls = result.sat_calls
@@ -363,6 +377,7 @@ def run_atpg(
         )
         pending_drop: List[TestPair] = []
         aborted_reps = set()
+        abort_reason_reps: Dict[str, str] = {}
         i = 0
         while i < len(remaining):
             fault = remaining[i]
@@ -382,6 +397,10 @@ def run_atpg(
                 # undetectable.  Later fresh tests may still detect it.
                 aborted_reps.add(fault.fault_id)
                 stats.sat_aborts += 1
+                reason = engine.last_abort_reason or "unknown"
+                abort_reason_reps[fault.fault_id] = reason
+                stats.sat_abort_reasons[reason] = \
+                    stats.sat_abort_reasons.get(reason, 0) + 1
             # Periodically fault-simulate the fresh tests to drop classes
             # before paying for their SAT calls.
             if len(pending_drop) >= 16 or (
@@ -410,6 +429,7 @@ def run_atpg(
                         if w:
                             detected_reps.add(f.fault_id)
                             aborted_reps.discard(f.fault_id)
+                            abort_reason_reps.pop(f.fault_id, None)
                 pending_drop = []
         stats.sat_calls = result.sat_calls
         effort = engine.effort()
@@ -430,6 +450,12 @@ def run_atpg(
     for rep, members in classes.items():
         if rep.fault_id in aborted_reps:
             bucket = result.aborted
+            # Every member of an aborted class shares the one decision
+            # that tripped the budget, so the reason fans out with it.
+            reason = abort_reason_reps.get(rep.fault_id)
+            if reason:
+                for member in members:
+                    result.abort_reasons[member.fault_id] = reason
         elif rep.fault_id in undetectable_reps:
             bucket = result.undetectable
         else:
@@ -446,9 +472,16 @@ def run_atpg(
         result.approximate = (
             n_aborted > budget.abort_fraction * result.n_faults
         )
+        reason_counts: Dict[str, int] = {}
+        for reason in result.abort_reasons.values():
+            reason_counts[reason] = reason_counts.get(reason, 0) + 1
+        by_reason = ", ".join(
+            f"{k}={v}" for k, v in sorted(reason_counts.items())
+        )
         message = (
             f"atpg[{circuit.name}]: {n_aborted}/{result.n_faults} faults "
             f"aborted under the resource budget"
+            + (f" ({by_reason})" if by_reason else "")
         )
         if result.approximate:
             message += (

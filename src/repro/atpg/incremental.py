@@ -104,6 +104,9 @@ class IncrementalAtpg:
         # exists so benchmarks can pin a frozen-baseline Solver class.
         self.solver = solver if solver is not None else Solver()
         self.lemmas_reused = 0
+        # Why the most recent decide() aborted ("deadline", "conflicts",
+        # "decisions", "injected"); None after a decided query.
+        self.last_abort_reason: Optional[str] = None
         self._var: Dict[Tuple[str, str], int] = {}
         self._topo = circuit.topo_order()
         self._topo_index = {g: i for i, g in enumerate(self._topo)}
@@ -299,9 +302,11 @@ class IncrementalAtpg:
         built = self._build_fault(fault, act)
         result: Optional[bool] = False
         test: Optional[TestPair] = None
+        self.last_abort_reason = None
         if built:
             if seams.active and seams.fire("atpg.decide", fault=fault) == "abort":
                 result = UNKNOWN
+                self.last_abort_reason = "injected"
             elif budget is None or budget.unlimited:
                 result = solver.solve([act])
             else:
@@ -315,6 +320,10 @@ class IncrementalAtpg:
                     decision_budget=budget.decision_budget,
                     deadline=deadline,
                 )
+                if result is UNKNOWN:
+                    self.last_abort_reason = (
+                        solver.last_abort_reason or "unknown"
+                    )
             if result:
                 v2 = {
                     pi: solver.value_of(self.var(pi, "g")) or 0

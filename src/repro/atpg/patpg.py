@@ -54,6 +54,7 @@ from __future__ import annotations
 
 import os
 import pickle
+from concurrent.futures import Future
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
@@ -72,9 +73,11 @@ from repro.faults.psim import (
     WorkerCrashError,
     _attach,
     _discard_pool,
+    _kill_pool,
     _pool_for,
     _WORKER_STATE,
     SHM_PREFIX,
+    register_segment,
     shm_supported,
 )
 from repro.library.cell import StandardCell
@@ -82,7 +85,17 @@ from repro.netlist.circuit import Circuit
 from repro.netlist.simulator import CompiledCircuit
 from repro.netlist.vsim import EXEC_SERIAL, pack_word, unpack_word
 from repro.utils import seams
-from repro.utils.observability import EngineStats
+from repro.utils.observability import EngineStats, warn_coded
+from repro.utils.supervise import (
+    CODE_BREAKER_OPEN,
+    CODE_SHARD_RETRY,
+    CODE_WORKER_HUNG,
+    SuperviseConfig,
+    WorkerHungError,
+    breaker_for,
+    resolve_supervision,
+    supervise_futures,
+)
 
 try:
     from multiprocessing import shared_memory
@@ -108,13 +121,18 @@ class TestBoard:
     """Shared block of published test pairs, one single-writer region per shard.
 
     Layout (uint64 throughout): ``nshards`` published-pair counters,
-    then the concatenated shard regions; shard *s* owns ``caps[s]`` rows
-    of ``2 * pi_words`` words (frame-1 then frame-2 PI bits, packed in
-    ``circuit.inputs`` order).  Worker *s* writes a row, then stores its
-    counter — it is the only writer of both, so no synchronization is
-    needed.  Readers may observe a torn row or a stale counter; both are
-    harmless because the board only feeds fault simulation, which is
-    sound for arbitrary patterns (see the module docstring).
+    ``nshards`` supervision heartbeats, then the concatenated shard
+    regions; shard *s* owns ``caps[s]`` rows of ``2 * pi_words`` words
+    (frame-1 then frame-2 PI bits, packed in ``circuit.inputs`` order).
+    Worker *s* writes a row, then stores its counter — it is the only
+    writer of both, so no synchronization is needed.  Readers may
+    observe a torn row or a stale counter; both are harmless because
+    the board only feeds fault simulation, which is sound for arbitrary
+    patterns (see the module docstring).  The heartbeat row is equally
+    advisory: workers bump their slot per SAT decision and per drop
+    batch, and the parent's supervisor only compares values for change
+    — a torn or garbage beat can at worst delay hang detection by one
+    poll.
     """
 
     def __init__(self, shm, caps: Sequence[int], pi_words: int):
@@ -135,11 +153,13 @@ class TestBoard:
 
     @property
     def nbytes(self) -> int:
-        return 8 * len(self.caps) + self.total_rows * 2 * self.pi_words * 8
+        return (
+            16 * len(self.caps) + self.total_rows * 2 * self.pi_words * 8
+        )
 
     @classmethod
     def create(cls, caps: Sequence[int], pi_words: int) -> "TestBoard":
-        nbytes = 8 * len(caps) + sum(caps) * 2 * pi_words * 8
+        nbytes = 16 * len(caps) + sum(caps) * 2 * pi_words * 8
         try:
             shm = shared_memory.SharedMemory(
                 create=True,
@@ -152,8 +172,20 @@ class TestBoard:
             raise ProcessExecUnavailable(
                 CODE_NO_SHM, f"shared memory unavailable: {exc}"
             ) from exc
-        shm.buf[: 8 * len(caps)] = b"\x00" * (8 * len(caps))
-        return cls(shm, caps, pi_words)
+        shm.buf[: 16 * len(caps)] = b"\x00" * (16 * len(caps))
+        board = cls(shm, caps, pi_words)
+        register_segment(board)
+        return board
+
+    def heartbeats(self) -> Dict[int, int]:
+        """Current per-shard heartbeat values (supervisor-side read)."""
+        if self._unlinked or not self.caps:
+            return {}
+        hb = np.ndarray(
+            (len(self.caps),), dtype=np.uint64, buffer=self.shm.buf,
+            offset=8 * len(self.caps),
+        )
+        return {i: int(hb[i]) for i in range(len(self.caps))}
 
     def close(self) -> None:
         """Release the parent's mapping and unlink the segment (idempotent)."""
@@ -310,6 +342,22 @@ def _run_sat_shard(blob: bytes) -> Dict[str, object]:
     shm = _attach(task["board"])
     try:
         counters = np.ndarray((nshards,), dtype=np.uint64, buffer=shm.buf)
+        hb = np.ndarray(
+            (nshards,), dtype=np.uint64, buffer=shm.buf, offset=8 * nshards
+        )
+        hb[shard] += 1
+        if seams.active:
+            # Chaos seam for the supervision layer: handlers hang or
+            # slow this shard, or scribble a torn partial write into
+            # the board's counter/heartbeat words, to exercise stall
+            # detection and the board's torn-read soundness.
+            seams.fire(
+                "atpg.shard_start",
+                shard=shard,
+                pid=os.getpid(),
+                counters=counters,
+                heartbeats=hb,
+            )
         offsets: List[int] = task["offsets"]
         total_rows = task["total_rows"]
         rows = (
@@ -317,7 +365,7 @@ def _run_sat_shard(blob: bytes) -> Dict[str, object]:
                 (total_rows, row_words),
                 dtype=np.uint64,
                 buffer=shm.buf,
-                offset=8 * nshards,
+                offset=16 * nshards,
             )
             if total_rows
             else None
@@ -359,6 +407,7 @@ def _run_sat_shard(blob: bytes) -> Dict[str, object]:
         stats = EngineStats()
         before = engine.effort()
         status: Dict[str, str] = {}
+        abort_reasons: Dict[str, str] = {}
         my_tests: List[TestPair] = []
         pending: List[TestPair] = []
         aborted_ids: Set[str] = set()
@@ -371,6 +420,7 @@ def _run_sat_shard(blob: bytes) -> Dict[str, object]:
             if fault.fault_id in dropped:
                 continue
             sat_calls += 1
+            hb[shard] += 1
             detectable, pair = engine.decide(fault, budget)
             if detectable:
                 my_tests.append(pair)
@@ -383,6 +433,12 @@ def _run_sat_shard(blob: bytes) -> Dict[str, object]:
                 status[fault.fault_id] = "aborted"
                 aborted_ids.add(fault.fault_id)
                 stats.sat_aborts += 1
+                reason = (
+                    getattr(engine, "last_abort_reason", None) or "unknown"
+                )
+                abort_reasons[fault.fault_id] = reason
+                stats.sat_abort_reasons[reason] = \
+                    stats.sat_abort_reasons.get(reason, 0) + 1
             at_end = i == len(faults)
             if len(pending) >= _DROP_EVERY or at_end or i % _DROP_EVERY == 0:
                 drop_pairs = pending + fetch_foreign()
@@ -398,6 +454,7 @@ def _run_sat_shard(blob: bytes) -> Dict[str, object]:
                 for lo in range(0, len(drop_pairs), batch_size):
                     if not todo:
                         break
+                    hb[shard] += 1
                     chunk = drop_pairs[lo:lo + batch_size]
                     batch = PatternBatch.from_pairs(circuit, chunk)
                     words = fault_simulate(
@@ -412,6 +469,7 @@ def _run_sat_shard(blob: bytes) -> Dict[str, object]:
                             # sat_aborts counts abort *events* (serial
                             # semantics): an upgraded abort stays counted.
                             aborted_ids.discard(f.fault_id)
+                            abort_reasons.pop(f.fault_id, None)
                             status.setdefault(f.fault_id, "dropped")
                             if status[f.fault_id] == "aborted":
                                 status[f.fault_id] = "dropped"
@@ -422,6 +480,7 @@ def _run_sat_shard(blob: bytes) -> Dict[str, object]:
         return {
             "shard": shard,
             "status": status,
+            "abort_reasons": abort_reasons,
             "tests": my_tests,
             "sat_calls": sat_calls,
             "effort": {k: after[k] - before[k] for k in after},
@@ -441,11 +500,137 @@ class ParallelSatOutcome:
     detected: Set[str] = field(default_factory=set)
     undetectable: Set[str] = field(default_factory=set)
     aborted: Set[str] = field(default_factory=set)
+    abort_reasons: Dict[str, str] = field(default_factory=dict)
     tests: List[TestPair] = field(default_factory=list)
     sat_calls: int = 0
     effort: Dict[str, int] = field(default_factory=dict)
     shards: int = 0
     workers: int = 0
+
+
+def _dispatch_sat_shards(
+    circuit: Circuit,
+    cells: Mapping[str, StandardCell],
+    shards: Sequence[Sequence[Fault]],
+    caps: Sequence[int],
+    pi_words: int,
+    budget: Optional[AtpgBudget],
+    backend: str,
+    batch_size: int,
+    workers: int,
+    sup: SuperviseConfig,
+    local: EngineStats,
+    outcome: "ParallelSatOutcome",
+) -> None:
+    """Submit the SAT shards, supervise them, and merge into *outcome*.
+
+    Supervision mirrors :func:`repro.faults.psim._dispatch_shards`: with
+    a shard deadline active, the test board's heartbeat row is polled
+    alongside the futures, a stale shard gets the pool killed and
+    rebuilt, and the lost shards re-run once on the same board (sound:
+    the board is advisory, and a re-run worker republishing its region
+    only shrinks the counter other shards read — they simply fetch
+    nothing new until it catches back up).  Shard outputs are staged per
+    shard id and merged only after every shard has succeeded.
+    """
+    pool = _pool_for(circuit, cells, workers)
+    board = TestBoard.create(caps, pi_words)
+    try:
+        staged: Dict[int, Dict[str, object]] = {}
+        pending = list(range(len(shards)))
+        shard_timeout = sup.effective_timeout()
+        hang_retried = False
+        while pending:
+            futures: Dict[int, Future] = {}
+            for s in pending:
+                task = {
+                    "board": board.name,
+                    "caps": list(caps),
+                    "offsets": board.offsets,
+                    "total_rows": board.total_rows,
+                    "pi_words": pi_words,
+                    "shard": s,
+                    "faults": shards[s],
+                    "budget": budget,
+                    "backend": backend,
+                    "batch_size": batch_size,
+                }
+                try:
+                    blob = pickle.dumps(task)
+                except Exception as exc:
+                    raise ProcessExecUnavailable(
+                        CODE_UNPICKLABLE, f"ATPG shard not picklable: {exc}"
+                    ) from exc
+                futures[s] = pool.submit(_run_sat_shard, blob)
+            try:
+                # Stage every shard's output and merge only once all of
+                # them succeeded, so a failed shard can never leave a
+                # half-applied phase behind (the serial fallback reruns
+                # on clean state).
+                done, hung = supervise_futures(
+                    futures,
+                    board.heartbeats,
+                    shard_timeout=shard_timeout,
+                    poll_s=sup.poll_s,
+                    stats=local,
+                )
+                for s in done:
+                    staged[s] = futures[s].result()
+                if hung:
+                    local.hung_workers += len(hung)
+                    _kill_pool(pool)
+                    lost = [s for s in pending if s not in staged]
+                    if hang_retried:
+                        raise WorkerHungError(
+                            f"{len(hung)} SAT-phase shard(s) hung past "
+                            f"the {shard_timeout:.2f}s deadline again "
+                            f"after a pool rebuild; the phase reruns "
+                            f"serially",
+                            hung_workers=local.hung_workers,
+                            shard_retries=local.shard_retries,
+                        )
+                    hang_retried = True
+                    warn_coded(
+                        local, CODE_WORKER_HUNG,
+                        f"reaped {len(hung)} hung SAT worker(s) on "
+                        f"{circuit.name} (no heartbeat for "
+                        f"{shard_timeout:.2f}s); pool killed and rebuilt",
+                    )
+                    warn_coded(
+                        local, CODE_SHARD_RETRY,
+                        f"re-running {len(lost)} lost SAT shard(s) on a "
+                        f"fresh pool (one-shot retry before the serial "
+                        f"fallback)",
+                    )
+                    local.shard_retries += len(lost)
+                    pool = _pool_for(circuit, cells, workers)
+                    pending = lost
+                    continue
+                pending = []
+            except BrokenProcessPool as exc:
+                _discard_pool(pool)
+                raise WorkerCrashError(
+                    f"{CODE_FALLBACK_ATPG}: a SAT-phase worker died "
+                    f"mid-shard ({exc}); the test board was unlinked — "
+                    f"the phase reruns serially"
+                ) from exc
+        for s in sorted(staged):
+            out = staged[s]
+            outcome.sat_calls += out["sat_calls"]
+            outcome.tests.extend(out["tests"])
+            local.merge(out["stats"])
+            for k, v in out["effort"].items():
+                outcome.effort[k] = outcome.effort.get(k, 0) + v
+            outcome.abort_reasons.update(out.get("abort_reasons", {}))
+            for fid, st in out["status"].items():
+                if st in ("detected", "dropped"):
+                    outcome.detected.add(fid)
+                elif st == "undetectable":
+                    outcome.undetectable.add(fid)
+                else:
+                    outcome.aborted.add(fid)
+    finally:
+        board.close()
 
 
 def process_sat_phase(
@@ -475,11 +660,15 @@ def process_sat_phase(
     serial aborted-behind-index pass.
 
     Raises :class:`~repro.faults.psim.ProcessExecUnavailable` when
-    process execution cannot run here and
+    process execution cannot run here (including an open circuit
+    breaker, ``MC-BREAKER-OPEN``),
     :class:`~repro.faults.psim.WorkerCrashError` when a SAT worker dies
-    mid-shard; ``run_atpg`` maps both to the ``MC-FALLBACK-ATPG`` coded
-    warning and a serial rerun on untouched state.  *exec_mode* governs
-    only the parent's own upgrade-pass fault simulation.
+    mid-shard, and :class:`~repro.utils.supervise.WorkerHungError` when
+    a shard hangs past its deadline twice (initial run plus the
+    one-shot rebuilt-pool retry); ``run_atpg`` maps each to the
+    ``MC-FALLBACK-ATPG`` coded warning and a serial rerun on untouched
+    state.  *exec_mode* governs only the parent's own upgrade-pass
+    fault simulation.
     """
     if not shm_supported():
         raise ProcessExecUnavailable(
@@ -493,59 +682,39 @@ def process_sat_phase(
     caps = [len(s) for s in shards]
     pi_words = max(1, -(-len(circuit.inputs) // 64))
 
-    pool = _pool_for(circuit, cells, workers)
-    board = TestBoard.create(caps, pi_words)
+    sup = resolve_supervision()
+    # Identity-compared topology token -> hashable breaker key (see
+    # repro.faults.psim.process_fault_simulate).
+    bkey = ("atpg", circuit.name, id(circuit.topology_token()))
+    breaker = breaker_for(bkey, sup)
+    if breaker is not None and not breaker.allow():
+        if stats is not None:
+            stats.breaker_state[str(bkey)] = breaker.state
+        raise ProcessExecUnavailable(
+            CODE_BREAKER_OPEN,
+            f"ATPG process breaker is open after {breaker.failures} "
+            f"consecutive process-layer failures; next half-open probe "
+            f"in {breaker.seconds_until_probe():.1f}s",
+        )
     outcome = ParallelSatOutcome(shards=len(shards), workers=workers)
     try:
-        blobs = []
-        for s, shard in enumerate(shards):
-            task = {
-                "board": board.name,
-                "caps": caps,
-                "offsets": board.offsets,
-                "total_rows": board.total_rows,
-                "pi_words": pi_words,
-                "shard": s,
-                "faults": shard,
-                "budget": budget,
-                "backend": backend,
-                "batch_size": batch_size,
-            }
-            try:
-                blobs.append(pickle.dumps(task))
-            except Exception as exc:
-                raise ProcessExecUnavailable(
-                    CODE_UNPICKLABLE, f"ATPG shard not picklable: {exc}"
-                ) from exc
-        futures = [pool.submit(_run_sat_shard, blob) for blob in blobs]
-        try:
-            # Stage every shard's output and merge only once all of
-            # them succeeded, so a failed shard can never leave a
-            # half-applied phase behind (the serial fallback reruns on
-            # clean state).
-            staged = [fut.result() for fut in futures]
-        except BrokenProcessPool as exc:
-            _discard_pool(pool)
-            raise WorkerCrashError(
-                f"{CODE_FALLBACK_ATPG}: a SAT-phase worker died mid-shard "
-                f"({exc}); the test board was unlinked — the phase reruns "
-                f"serially"
-            ) from exc
-        for out in sorted(staged, key=lambda o: o["shard"]):
-            outcome.sat_calls += out["sat_calls"]
-            outcome.tests.extend(out["tests"])
-            local.merge(out["stats"])
-            for k, v in out["effort"].items():
-                outcome.effort[k] = outcome.effort.get(k, 0) + v
-            for fid, st in out["status"].items():
-                if st in ("detected", "dropped"):
-                    outcome.detected.add(fid)
-                elif st == "undetectable":
-                    outcome.undetectable.add(fid)
-                else:
-                    outcome.aborted.add(fid)
-    finally:
-        board.close()
+        _dispatch_sat_shards(
+            circuit, cells, shards, caps, pi_words, budget, backend,
+            batch_size, workers, sup, local, outcome,
+        )
+    except (WorkerCrashError, SharedMemoryCorruption, WorkerHungError):
+        if breaker is not None:
+            breaker.record_failure()
+            if stats is not None:
+                stats.breaker_state[str(bkey)] = breaker.state
+        raise
+    except BaseException:
+        if breaker is not None:
+            breaker.cancel_probe()
+        raise
+    if breaker is not None:
+        breaker.record_success()
+        local.breaker_state[str(bkey)] = breaker.state
 
     # Authoritative cross-shard upgrade: a test discovered anywhere may
     # detect an aborted fault from any shard (aborts are schedule-
@@ -568,6 +737,7 @@ def process_sat_phase(
             for f, w in zip(aborted_faults, words):
                 if w:
                     outcome.aborted.discard(f.fault_id)
+                    outcome.abort_reasons.pop(f.fault_id, None)
                     outcome.detected.add(f.fault_id)
                 else:
                     still.append(f)

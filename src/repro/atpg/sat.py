@@ -81,6 +81,9 @@ class Solver:
         self.propagations = 0  # literals whose watch lists were processed
         self.learned = 0  # learned clauses recorded (units included)
         self.restarts = 0  # restarts taken across all solve() calls
+        # Which budget tripped the last UNKNOWN answer ("conflicts",
+        # "decisions" or "deadline"); None after a decided solve.
+        self.last_abort_reason: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Problem construction
@@ -173,6 +176,7 @@ class Solver:
         usable for further solves.  With no limits set (the default) the
         return value is exactly the classic two-valued answer.
         """
+        self.last_abort_reason = None
         if not self._ok:
             return UNSAT
         self._backtrack(0)
@@ -203,11 +207,17 @@ class Solver:
                 if limited:
                     spent_conflicts += 1
                     if (
-                        (conflict_budget is not None
-                         and spent_conflicts > conflict_budget)
-                        or (deadline is not None
-                            and time.perf_counter() > deadline)
+                        conflict_budget is not None
+                        and spent_conflicts > conflict_budget
                     ):
+                        self.last_abort_reason = "conflicts"
+                        self._backtrack(0)
+                        return UNKNOWN
+                    if (
+                        deadline is not None
+                        and time.perf_counter() > deadline
+                    ):
+                        self.last_abort_reason = "deadline"
                         self._backtrack(0)
                         return UNKNOWN
                 if len(self._trail_lim) <= len(enc_assumps):
@@ -251,11 +261,17 @@ class Solver:
             if limited:
                 spent_decisions += 1
                 if (
-                    (decision_budget is not None
-                     and spent_decisions > decision_budget)
-                    or (deadline is not None
-                        and time.perf_counter() > deadline)
+                    decision_budget is not None
+                    and spent_decisions > decision_budget
                 ):
+                    self.last_abort_reason = "decisions"
+                    self._backtrack(0)
+                    return UNKNOWN
+                if (
+                    deadline is not None
+                    and time.perf_counter() > deadline
+                ):
+                    self.last_abort_reason = "deadline"
                     self._backtrack(0)
                     return UNKNOWN
             self._trail_lim.append(len(self._trail))

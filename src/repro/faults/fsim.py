@@ -511,6 +511,7 @@ def fault_simulate(
             ProcessExecUnavailable,
             process_fault_simulate,
         )
+        from repro.utils.supervise import WorkerHungError
 
         try:
             return process_fault_simulate(
@@ -526,6 +527,20 @@ def fault_simulate(
                 stats, exc.code,
                 f"process execution unavailable ({exc}); "
                 f"falling back to {fallback}",
+            )
+        except WorkerHungError as exc:
+            # The supervisor reaped a hung worker twice (initial run
+            # and the one-shot shard retry).  The failed attempt's
+            # staged counters are discarded — the fallback re-runs the
+            # whole batch — so the supervision story is folded in from
+            # the exception instead, keeping it observable.
+            fallback = "threads" if backend == BACKEND_EVENT else "serial"
+            if stats is not None:
+                stats.hung_workers += exc.hung_workers
+                stats.shard_retries += exc.shard_retries
+            warn_coded(
+                stats, exc.code,
+                f"{exc}; falling back to {fallback}",
             )
     if backend == BACKEND_WIDE:
         from repro.faults.vfsim import wide_fault_simulate

@@ -52,11 +52,26 @@ Failure handling is explicit, never silent:
   ``fsim.shm_block`` chaos seam injects exactly this) is repaired once
   by rebuilding the block from the parent's pristine arrays (counted on
   ``EngineStats.cache_integrity_failures`` with a degradation record);
-  a second consecutive corruption raises :class:`SharedMemoryCorruption`.
+  a second consecutive corruption raises :class:`SharedMemoryCorruption`;
+* a **hung worker** (deadlock, pathological shard — the
+  ``psim.shard_start`` chaos seam injects exactly this) is caught by the
+  supervision layer (:mod:`repro.utils.supervise`) when
+  ``REPRO_SUPERVISE_SHARD_TIMEOUT`` or a task deadline is active:
+  workers bump a per-shard heartbeat slot appended after the block's
+  CRC-covered payload, the parent polls futures with bounded waits, and
+  a stale shard gets its pool killed and rebuilt with the lost shards
+  re-run once (``MC-WORKER-HUNG`` / ``MC-SHARD-RETRY`` warnings,
+  ``hung_workers`` / ``shard_retries`` counters) before a second hang
+  raises :class:`~repro.utils.supervise.WorkerHungError`; repeated
+  process-layer failures open a circuit breaker per
+  ``(backend, topology)`` that rejects further attempts with
+  ``MC-BREAKER-OPEN`` until a timed half-open probe succeeds.
 
 Every shared segment is named ``repro_mc_*`` and unlinked in a
 ``finally`` block, so ``/dev/shm`` holds no orphans after a run — the CI
-leak check greps for the prefix.
+leak check greps for the prefix, and an :func:`atexit` emergency hook
+additionally unlinks any block still live when the interpreter exits
+abnormally mid-batch.
 """
 
 from __future__ import annotations
@@ -65,9 +80,10 @@ import atexit
 import itertools
 import os
 import pickle
+import weakref
 import zlib
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor, wait
+from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -95,6 +111,16 @@ from repro.netlist.vsim import (
 )
 from repro.utils import seams
 from repro.utils.observability import EngineStats, warn_coded
+from repro.utils.supervise import (
+    CODE_BREAKER_OPEN,
+    CODE_SHARD_RETRY,
+    CODE_WORKER_HUNG,
+    SuperviseConfig,
+    WorkerHungError,
+    breaker_for,
+    resolve_supervision,
+    supervise_futures,
+)
 
 SHM_PREFIX = "repro_mc_"
 
@@ -177,14 +203,25 @@ class SharedBatchBlock:
     CRC is computed over the payload *after* writing and carried
     out-of-band in each shard task, so block rot cannot forge its own
     checksum.
+
+    When *hb_slots* is non-zero, one uint64 **heartbeat** slot per shard
+    is appended *after* the CRC-covered payload: workers bump their slot
+    as they make progress and the parent's supervisor loop reads them
+    via :meth:`heartbeats` to distinguish a slow shard from a hung one.
+    The slots live outside the checksummed range on purpose — they
+    mutate while shards run, and they are advisory-only (a torn or
+    garbage beat can at worst delay hang detection by one poll, never
+    corrupt a result).
     """
 
-    def __init__(self, shm, rows: int, words: int, n_nets: int, crc: int):
+    def __init__(self, shm, rows: int, words: int, n_nets: int, crc: int,
+                 hb_slots: int = 0):
         self.shm = shm
         self.rows = rows
         self.words = words
         self.n_nets = n_nets
         self.crc = crc
+        self.hb_slots = hb_slots
         self._unlinked = False
 
     @property
@@ -202,6 +239,7 @@ class SharedBatchBlock:
         good2: np.ndarray,
         frame1: np.ndarray,
         frame2: np.ndarray,
+        hb_slots: int = 0,
     ) -> "SharedBatchBlock":
         n_nets, words = good1.shape
         rows = 2 * n_nets + 2 * len(frame1)
@@ -212,7 +250,7 @@ class SharedBatchBlock:
                 name = f"{SHM_PREFIX}{os.getpid()}_{next(_SHM_COUNTER)}"
                 try:
                     shm = shared_memory.SharedMemory(
-                        create=True, size=nbytes, name=name
+                        create=True, size=nbytes + 8 * hb_slots, name=name
                     )
                     break
                 except FileExistsError:
@@ -232,8 +270,14 @@ class SharedBatchBlock:
         view[n_nets:2 * n_nets] = good2
         view[2 * n_nets:2 * n_nets + len(frame1)] = frame1
         view[2 * n_nets + len(frame1):] = frame2
+        if hb_slots:
+            hb = np.ndarray(
+                (hb_slots,), dtype=np.uint64, buffer=shm.buf, offset=nbytes
+            )
+            hb[:] = 0
         crc = zlib.crc32(shm.buf[:nbytes])
-        block = cls(shm, rows, words, n_nets, crc)
+        block = cls(shm, rows, words, n_nets, crc, hb_slots)
+        _LIVE_SEGMENTS.add(block)
         if seams.active:
             # Chaos seam: a harness may corrupt the block *after* the
             # checksum is recorded, modelling rot between the parent's
@@ -241,6 +285,16 @@ class SharedBatchBlock:
             # catch it.
             seams.fire("fsim.shm_block", block=block, view=view)
         return block
+
+    def heartbeats(self) -> Dict[int, int]:
+        """Current per-shard heartbeat values (supervisor-side read)."""
+        if not self.hb_slots or self._unlinked:
+            return {}
+        hb = np.ndarray(
+            (self.hb_slots,), dtype=np.uint64, buffer=self.shm.buf,
+            offset=self.nbytes,
+        )
+        return {i: int(hb[i]) for i in range(self.hb_slots)}
 
     def close(self) -> None:
         """Release the parent's mapping and unlink the segment (idempotent)."""
@@ -349,6 +403,29 @@ def _run_shard(blob: bytes) -> Tuple[List[Tuple[int, int]], EngineStats]:
                 f"{CODE_SHM_CORRUPT}: shared block {task['name']} failed "
                 f"CRC verification on attach"
             )
+        shard = task.get("shard", 0)
+        hb = None
+        if task.get("hb_slots"):
+            # The heartbeat slots sit after the CRC-covered payload; a
+            # bump per fault is the liveness signal the parent-side
+            # supervisor watches (any change counts — wraparound and
+            # torn reads are harmless because the beats are advisory).
+            hb = np.ndarray(
+                (task["hb_slots"],), dtype=np.uint64, buffer=shm.buf,
+                offset=nbytes,
+            )
+            hb[shard] += 1
+        if seams.active:
+            # Chaos seam for the supervision layer: handlers hang or
+            # slow this shard (and may scribble on the heartbeat row)
+            # to exercise stall detection, pool rebuild, and retry.
+            seams.fire(
+                "psim.shard_start",
+                shard=shard,
+                indices=task["indices"],
+                pid=os.getpid(),
+                heartbeats=hb,
+            )
         view = np.ndarray(
             (task["rows"], task["words"]), dtype=np.uint64, buffer=shm.buf
         )
@@ -356,15 +433,16 @@ def _run_shard(blob: bytes) -> Tuple[List[Tuple[int, int]], EngineStats]:
         n_nets = task["n_nets"]
         g1 = view[:n_nets]
         g2 = view[n_nets:2 * n_nets]
+        out = []
         if task["backend"] == BACKEND_WIDE:
             from repro.faults.vfsim import _simulate_one_wide, _WideContext
 
             mask = wide_mask(task["n"], task["words"])
             ctx = _WideContext(plan, mask, task["words"], g1, g2)
-            out = [
-                (i, _simulate_one_wide(ctx, fault))
-                for i, fault in zip(task["indices"], task["faults"])
-            ]
+            for i, fault in zip(task["indices"], task["faults"]):
+                out.append((i, _simulate_one_wide(ctx, fault)))
+                if hb is not None:
+                    hb[shard] += 1
             stats.vector_ops += ctx.vector_ops
         else:
             from repro.faults.fsim import _simulate_one, _SimContext
@@ -373,10 +451,10 @@ def _run_shard(blob: bytes) -> Tuple[List[Tuple[int, int]], EngineStats]:
             good2 = [unpack_word(row) for row in g2]
             mask = (1 << task["n"]) - 1
             ctx = _SimContext(plan, mask, good1, good2)
-            out = [
-                (i, _simulate_one(ctx, fault))
-                for i, fault in zip(task["indices"], task["faults"])
-            ]
+            for i, fault in zip(task["indices"], task["faults"]):
+                out.append((i, _simulate_one(ctx, fault)))
+                if hb is not None:
+                    hb[shard] += 1
             stats.events_propagated += ctx.events
         return out, stats
     finally:
@@ -458,6 +536,27 @@ def _discard_pool(pool: ProcessPoolExecutor) -> None:
     pool.shutdown(wait=False, cancel_futures=True)
 
 
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Forcibly retire *pool*: SIGKILL its workers, then shut it down.
+
+    The graceful ``shutdown`` used by :func:`_discard_pool` leaves a
+    *hung* worker running (the executor only asks workers to exit once
+    their current item finishes — which a hung item never does), so the
+    supervisor must kill the worker processes directly before the
+    executor's bookkeeping is torn down.
+    """
+    for key, entry in list(_POOLS.items()):
+        if entry[0] is pool:
+            del _POOLS[key]
+    procs = getattr(pool, "_processes", None) or {}
+    for proc in list(procs.values()):
+        try:
+            proc.kill()
+        except Exception:  # pragma: no cover - worker already gone
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
 def shutdown_pools() -> None:
     """Shut every cached worker pool down (test hook / atexit)."""
     while _POOLS:
@@ -465,7 +564,38 @@ def shutdown_pools() -> None:
         pool.shutdown(wait=False, cancel_futures=True)
 
 
-atexit.register(shutdown_pools)
+# Every live shared segment owner (SharedBatchBlock, and the ATPG
+# TestBoard via register_segment) — weak, so normal `close()` in the
+# happy-path ``finally`` blocks remains the owner's job and collected
+# blocks drop out on their own.
+_LIVE_SEGMENTS: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def register_segment(owner) -> None:
+    """Track *owner* (anything with an idempotent ``close()``) for
+    emergency unlinking at interpreter exit."""
+    _LIVE_SEGMENTS.add(owner)
+
+
+def _emergency_cleanup() -> None:
+    """atexit backstop: release pools and unlink still-live segments.
+
+    The happy path closes every block in a ``finally`` and CI greps
+    ``/dev/shm`` for leaks, but an abnormal exit mid-batch (unhandled
+    exception in the driver thread, ``sys.exit`` from a signal handler)
+    used to orphan the current block and leave pool workers running.
+    ``close()`` is idempotent, so double-closing a block that already
+    went through its ``finally`` is safe.
+    """
+    shutdown_pools()
+    for owner in list(_LIVE_SEGMENTS):
+        try:
+            owner.close()
+        except Exception:  # pragma: no cover - best-effort at exit
+            pass
+
+
+atexit.register(_emergency_cleanup)
 
 
 # ----------------------------------------------------------------------
@@ -563,16 +693,93 @@ def process_fault_simulate(
         [pack_word(batch.frame2.get(pi, 0), words) for pi in plan.pi_order]
     ) if plan.pi_order else np.zeros((0, words), dtype=np.uint64)
 
+    sup = resolve_supervision()
+    # The topology token is an identity-compared object; its id (plus
+    # the circuit name for readability) is the hashable stand-in, so a
+    # resynthesized circuit gets a fresh health score.
+    bkey = ("fsim", backend, circuit.name, id(circuit.topology_token()))
+    breaker = breaker_for(bkey, sup)
+    if breaker is not None and not breaker.allow():
+        if stats is not None:
+            stats.breaker_state[str(bkey)] = breaker.state
+        raise ProcessExecUnavailable(
+            CODE_BREAKER_OPEN,
+            f"process execution breaker is open for {bkey} after "
+            f"{breaker.failures} consecutive process-layer failures; "
+            f"next half-open probe in "
+            f"{breaker.seconds_until_probe():.1f}s",
+        )
+    try:
+        results = _dispatch_shards(
+            circuit, cells, faults, batch, chunks, good1, good2,
+            frame1, frame2, words, workers, backend, sup, local,
+        )
+    except (WorkerCrashError, SharedMemoryCorruption, WorkerHungError):
+        # Only process-layer failures feed the breaker's health score:
+        # an *unavailable* environment (no shm, unpicklable faults)
+        # fails instantly and deterministically, so tripping the
+        # breaker for it would add nothing.
+        if breaker is not None:
+            breaker.record_failure()
+            if stats is not None:
+                stats.breaker_state[str(bkey)] = breaker.state
+        raise
+    except BaseException:
+        if breaker is not None:
+            breaker.cancel_probe()
+        raise
+    if breaker is not None:
+        breaker.record_success()
+        local.breaker_state[str(bkey)] = breaker.state
+    local.proc_shards += len(chunks)
+    if stats is not None:
+        stats.merge(local)
+    return results
+
+
+def _dispatch_shards(
+    circuit: Circuit,
+    cells: Mapping[str, StandardCell],
+    faults: Sequence[Fault],
+    batch,
+    chunks: Sequence[Sequence[int]],
+    good1: np.ndarray,
+    good2: np.ndarray,
+    frame1: np.ndarray,
+    frame2: np.ndarray,
+    words: int,
+    workers: int,
+    backend: str,
+    sup: SuperviseConfig,
+    local: EngineStats,
+) -> List[int]:
+    """Submit *chunks*, supervise them, and assemble the detect words.
+
+    Recovery loop: a CRC-corrupted block is rebuilt once from the
+    parent's pristine arrays (every shard re-runs against the fresh
+    block); a hung shard gets its pool killed and rebuilt, and only the
+    *lost* shards (hung plus collaterally-killed in-flight siblings)
+    are re-submitted once.  Shard outputs are staged per shard id and
+    committed only after every shard has succeeded, so neither retry
+    can merge a worker delta — or a detect word — twice.
+    """
     pool = _pool_for(circuit, cells, workers)
     local.proc_workers = max(local.proc_workers, workers)
-
+    shard_timeout = sup.effective_timeout()
     results: List[int] = [0] * len(faults)
-    for attempt in (0, 1):
-        block = SharedBatchBlock.create(good1, good2, frame1, frame2)
+    staged: Dict[int, Tuple[List[Tuple[int, int]], EngineStats]] = {}
+    pending = list(range(len(chunks)))
+    corruption_retried = False
+    hang_retried = False
+    while pending:
+        block = SharedBatchBlock.create(
+            good1, good2, frame1, frame2, hb_slots=len(chunks)
+        )
         local.shm_bytes += block.nbytes
         try:
-            blobs = []
-            for chunk in chunks:
+            futures: Dict[int, Future] = {}
+            for s in pending:
+                chunk = chunks[s]
                 task = {
                     "name": block.name,
                     "rows": block.rows,
@@ -583,26 +790,58 @@ def process_fault_simulate(
                     "backend": backend,
                     "indices": chunk,
                     "faults": [faults[i] for i in chunk],
+                    "shard": s,
+                    "hb_slots": len(chunks),
                 }
                 try:
-                    blobs.append(pickle.dumps(task))
+                    blob = pickle.dumps(task)
                 except Exception as exc:
                     raise ProcessExecUnavailable(
                         CODE_UNPICKLABLE,
                         f"fault shard not picklable: {exc}",
                     ) from exc
-            futures = [pool.submit(_run_shard, blob) for blob in blobs]
+                futures[s] = pool.submit(_run_shard, blob)
             try:
-                # Stage shard outputs and only commit once every shard
-                # succeeded, so a corrupted-block retry can never merge
-                # a worker delta (or a detect word) twice.
-                staged: List[Tuple[List[Tuple[int, int]], EngineStats]] = []
-                for fut in futures:
-                    staged.append(fut.result())
-                for out, delta in staged:
-                    local.merge(delta)
-                    for i, word in out:
-                        results[i] = word
+                done, hung = supervise_futures(
+                    futures,
+                    block.heartbeats,
+                    shard_timeout=shard_timeout,
+                    poll_s=sup.poll_s,
+                    stats=local,
+                )
+                for s in done:
+                    staged[s] = futures[s].result()
+                if hung:
+                    local.hung_workers += len(hung)
+                    _kill_pool(pool)
+                    lost = [s for s in pending if s not in staged]
+                    if hang_retried:
+                        raise WorkerHungError(
+                            f"{len(hung)} fault-simulation shard(s) hung "
+                            f"past the {shard_timeout:.2f}s deadline again "
+                            f"after a pool rebuild; giving up on process "
+                            f"execution for this batch",
+                            hung_workers=local.hung_workers,
+                            shard_retries=local.shard_retries,
+                        )
+                    hang_retried = True
+                    warn_coded(
+                        local, CODE_WORKER_HUNG,
+                        f"reaped {len(hung)} hung fault-simulation "
+                        f"worker(s) on {circuit.name} (no heartbeat for "
+                        f"{shard_timeout:.2f}s); pool killed and rebuilt",
+                    )
+                    warn_coded(
+                        local, CODE_SHARD_RETRY,
+                        f"re-running {len(lost)} lost shard(s) on a "
+                        f"fresh pool (one-shot retry before the "
+                        f"thread/serial fallback ladder)",
+                    )
+                    local.shard_retries += len(lost)
+                    pool = _pool_for(circuit, cells, workers)
+                    pending = lost
+                    continue
+                pending = []
             except BrokenProcessPool as exc:
                 _discard_pool(pool)
                 raise WorkerCrashError(
@@ -612,22 +851,27 @@ def process_fault_simulate(
                     f"this per task)"
                 ) from exc
             except SharedMemoryCorruption:
-                # Let every in-flight shard settle before deciding: the
-                # block is shared, so siblings fail the same check.
-                wait(futures)
-                if attempt == 0:
+                # Every future has settled (the supervisor waits for
+                # all of them before results are read), and the block
+                # is shared — siblings fail the same check, so the
+                # whole round is discarded and re-run.
+                if not corruption_retried:
+                    corruption_retried = True
                     local.cache_integrity_failures += 1
                     local.degradations.append(
                         f"psim[{circuit.name}]: shared good-value block "
                         f"{block.name} failed CRC verification; rebuilt "
                         f"from the parent's pristine arrays"
                     )
+                    staged.clear()
+                    pending = list(range(len(chunks)))
                     continue
                 raise
-            break
         finally:
             block.close()
-    local.proc_shards += len(chunks)
-    if stats is not None:
-        stats.merge(local)
+    for s in sorted(staged):
+        out, delta = staged[s]
+        local.merge(delta)
+        for i, word in out:
+            results[i] = word
     return results

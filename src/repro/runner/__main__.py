@@ -115,6 +115,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--kill-at", default=None, metavar="TASK[:ATTEMPT]",
         help="fault injection: SIGKILL self after that task_start",
     )
+    run.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="supervised execution: per-shard deadline for process pools "
+             "(sets REPRO_SUPERVISE_SHARD_TIMEOUT; hung workers are "
+             "reaped and their shards re-run)",
+    )
 
     res = sub.add_parser("resume", help="resume a run from its journal")
     res.add_argument("run_id")
@@ -122,6 +128,11 @@ def _build_parser() -> argparse.ArgumentParser:
     res.add_argument(
         "--kill-at", default=None, metavar="TASK[:ATTEMPT]",
         help="fault injection: SIGKILL self after that task_start",
+    )
+    res.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="supervised execution: per-shard deadline for process pools "
+             "(sets REPRO_SUPERVISE_SHARD_TIMEOUT)",
     )
 
     rep = sub.add_parser("report", help="render a run's final report")
@@ -186,7 +197,17 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _apply_shard_timeout(args) -> None:
+    # The knob is an env variable (read at call time by the dispatch
+    # layers and inherited by process-isolated task workers), so the
+    # CLI flag just exports it for this orchestrator process tree.
+    value = getattr(args, "shard_timeout", None)
+    if value is not None:
+        os.environ["REPRO_SUPERVISE_SHARD_TIMEOUT"] = str(value)
+
+
 def _cmd_run(args) -> int:
+    _apply_shard_timeout(args)
     if args.campaign:
         campaign = CampaignSpec.load(args.campaign)
         if args.run_id:
@@ -241,6 +262,7 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_resume(args) -> int:
+    _apply_shard_timeout(args)
     if args.kill_at:
         campaign = CampaignSpec.load(
             os.path.join(args.out, args.run_id, "campaign.json")

@@ -27,6 +27,12 @@ def main(argv=None) -> int:
         spec = json.load(fh)
 
     from repro.runner.registry import TaskContext, get_task
+    from repro.utils.supervise import install_deadline_from_env
+
+    # The orchestrator exports the task timeout as
+    # REPRO_SUPERVISE_DEADLINE; entering the scope here lets the engine
+    # bound its own shards/SAT calls instead of waiting for the kill.
+    install_deadline_from_env()
 
     ctx = TaskContext(
         run_dir=spec["run_dir"],

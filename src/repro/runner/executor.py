@@ -11,7 +11,14 @@ Execution policy per task:
 * **timeout** — wall-clock bound per attempt.  Process-isolated tasks
   are killed preemptively; inline tasks run on a daemon worker thread
   that is abandoned on timeout (best-effort — use ``isolation:
-  "process"`` for tasks that must be preemptible).
+  "process"`` for tasks that must be preemptible).  Either way the
+  timeout also enters the engine as a *deadline*: inline bodies run
+  inside a :func:`repro.utils.supervise.deadline_scope`, and
+  process-isolated workers inherit it via ``REPRO_SUPERVISE_DEADLINE``,
+  so shard dispatch and SAT solving bound themselves instead of relying
+  on the kill backstop.  An abandoned inline thread is journaled as the
+  coded ``RUN-THREAD-ABANDONED`` warning and counted in the report —
+  the thread still occupies the interpreter until its body returns.
 * **retries / backoff** — a failed attempt is retried up to ``retries``
   times, sleeping ``backoff * 2**(attempt-1)`` seconds in between; every
   retry is journaled.
@@ -43,11 +50,18 @@ from repro.runner.model import (
     TaskSpec,
     env_knobs,
     fingerprint_task,
+    observed_env_knobs,
 )
 from repro.runner.registry import TaskContext, fingerprint_extra, get_task
 from repro.runner.report import build_report, write_report
+from repro.utils.supervise import deadline_scope
 
 DEFAULT_RUNS_ROOT = os.path.join("benchmarks", "results", "runs")
+
+# Coded warning: an inline task hit its timeout and its worker thread
+# was abandoned (daemon threads cannot be killed).  Journaled as a
+# ``warning`` event and counted in the report's runtime_warnings.
+CODE_THREAD_ABANDONED = "RUN-THREAD-ABANDONED"
 
 
 class TaskFailure(Exception):
@@ -107,6 +121,9 @@ class Runner:
         self.ledger: RunLedger = RunLedger()
         self._fps: Dict[str, str] = {}
         self._known = {t.task_id for t in self.campaign.tasks}
+        # code -> count of runtime warnings this orchestrator life saw
+        # (abandoned threads, ...); folded into the final report.
+        self.runtime_warnings: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -134,6 +151,7 @@ class Runner:
                 "run_id": self.campaign.run_id,
                 "n_tasks": len(self.campaign.tasks),
                 "env": env_knobs(),
+                "env_observed": observed_env_knobs(),
                 "meta": dict(self.campaign.meta),
             })
         else:
@@ -178,6 +196,7 @@ class Runner:
             OrderedDict(
                 (tid, o.as_dict()) for tid, o in self.outcomes.items()
             ),
+            runtime_warnings=self.runtime_warnings,
         )
         self.journal.append({"event": "report", "report": report})
         write_report(self.run_dir, report)
@@ -332,8 +351,13 @@ class Runner:
         box: dict = {}
 
         def body() -> None:
+            # The deadline scope is thread-local, so it must be entered
+            # *inside* the worker thread: engine dispatch layers under
+            # this body read remaining_time() to bound their own shards
+            # and SAT calls, which usually beats the abandon backstop.
             try:
-                box["payload"] = fn(spec.params, ctx)
+                with deadline_scope(spec.timeout):
+                    box["payload"] = fn(spec.params, ctx)
             except BaseException as exc:  # captured, re-raised below
                 box["error"] = exc
 
@@ -343,6 +367,13 @@ class Runner:
         worker.start()
         worker.join(spec.timeout)
         if worker.is_alive():
+            self._warn(
+                CODE_THREAD_ABANDONED,
+                f"task {spec.task_id}: inline worker thread abandoned "
+                f"after {spec.timeout}s (daemon thread keeps running "
+                f"until its body returns)",
+                task=spec.task_id,
+            )
             raise TaskFailure(
                 f"timeout after {spec.timeout}s (inline; thread abandoned)",
                 status="timeout",
@@ -351,6 +382,13 @@ class Runner:
             exc = box["error"]
             raise TaskFailure(f"{type(exc).__name__}: {exc}") from None
         return box["payload"]
+
+    def _warn(self, code: str, message: str, **extra: object) -> None:
+        """Journal a coded runtime warning and count it for the report."""
+        self.runtime_warnings[code] = self.runtime_warnings.get(code, 0) + 1
+        event = {"event": "warning", "code": code, "message": message}
+        event.update(extra)
+        self.journal.append(event)
 
     def _attempt_process(self, spec: TaskSpec, ctx: TaskContext) -> dict:
         tmp_dir = os.path.join(self.run_dir, "tmp")
@@ -377,6 +415,11 @@ class Runner:
         env["PYTHONPATH"] = os.pathsep.join(
             p for p in (src_root, env.get("PYTHONPATH")) if p
         )
+        if spec.timeout is not None:
+            # The fresh interpreter enters a deadline scope from this at
+            # startup (_worker calls install_deadline_from_env), so the
+            # engine bounds itself before the parent's kill fires.
+            env["REPRO_SUPERVISE_DEADLINE"] = str(spec.timeout)
         proc = subprocess.Popen(
             [sys.executable, "-m", "repro.runner._worker",
              in_path, out_path],

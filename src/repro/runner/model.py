@@ -30,6 +30,22 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 # re-executes instead of serving stale cached results.
 ENV_KNOBS = ("REPRO_SCALE", "REPRO_QMAX", "REPRO_MAX_ITER")
 
+# Knobs that change *how* tasks execute but never their results
+# (supervision deadlines, parallelism, chaos injection).  They are
+# journaled on run_start for diagnosability — a hang reaped under a
+# 0.5 s shard deadline reads very differently from one under 30 s —
+# but kept out of fingerprints on purpose: a resume on a machine with
+# different resilience settings must reuse completed work, not redo it.
+OBSERVED_ENV_KNOBS = (
+    "REPRO_SIM_EXEC",
+    "REPRO_SIM_WORKERS",
+    "REPRO_SUPERVISE_SHARD_TIMEOUT",
+    "REPRO_SUPERVISE_POLL_MS",
+    "REPRO_SUPERVISE_BREAKER_THRESHOLD",
+    "REPRO_SUPERVISE_BREAKER_COOLDOWN",
+    "REPRO_CHAOS",
+)
+
 
 class CampaignError(ValueError):
     """Invalid campaign: duplicate ids, unknown deps, or cycles."""
@@ -168,6 +184,14 @@ def env_knobs(env: Optional[Mapping[str, str]] = None) -> Dict[str, str]:
     """The code-relevant environment knobs folded into fingerprints."""
     src = os.environ if env is None else env
     return {k: src[k] for k in ENV_KNOBS if k in src}
+
+
+def observed_env_knobs(
+    env: Optional[Mapping[str, str]] = None,
+) -> Dict[str, str]:
+    """Execution-only knobs recorded in the journal, not fingerprinted."""
+    src = os.environ if env is None else env
+    return {k: src[k] for k in OBSERVED_ENV_KNOBS if k in src}
 
 
 def fingerprint_task(

@@ -44,6 +44,17 @@ VOLATILE_KEYS = frozenset({
     # count depends on cache temperature, like the counters above.  The
     # repaired results themselves are bit-identical either way.
     "cache_integrity_failures",
+    # Supervision bookkeeping is process-history: whether a worker hung,
+    # how often the supervisor woke, which breakers are live, and which
+    # budget happened to trip first on an abort are all wall-clock
+    # facts — the verdicts and tables they annotate are not.
+    "runtime_warnings",
+    "hung_workers",
+    "shard_retries",
+    "supervise_wakeups",
+    "breaker_state",
+    "sat_abort_reasons",
+    "abort_reasons",
 })
 
 
@@ -70,18 +81,24 @@ def _merge_numeric(dst: Dict[str, object], src: Mapping[str, object]) -> None:
             sub = dst.setdefault(key, {})
             if isinstance(sub, dict):
                 _merge_numeric(sub, value)
+                if not sub:  # all-non-numeric map (e.g. breaker states)
+                    del dst[key]
 
 
 def build_report(
     campaign_meta: Mapping[str, object],
     run_id: str,
     outcomes: Mapping[str, dict],
+    runtime_warnings: Optional[Mapping[str, int]] = None,
 ) -> dict:
     """Aggregate task *outcomes* into the final report.
 
     *outcomes* maps task_id to ``{"kind", "status", "payload",
     "duration", "attempts"}`` in campaign order; cached reuses count as
     completed (their recorded payload stands in for a fresh execution).
+    *runtime_warnings* maps warning codes (``RUN-THREAD-ABANDONED``) to
+    counts from this orchestrator life; present in the report only when
+    something actually warned.
     """
     from repro.core.metrics import average_rows
 
@@ -152,6 +169,8 @@ def build_report(
         # report shape is unchanged, and every degradation is explicit —
         # never folded silently into the tables.
         report["degradations"] = degradations
+    if runtime_warnings:
+        report["runtime_warnings"] = dict(runtime_warnings)
     return report
 
 
@@ -227,14 +246,29 @@ def render_report(report: Mapping[str, object]) -> str:
         for tid, deg in degradations.items():
             records = deg.get("records") or []
             detail = "; ".join(str(r) for r in records) if records else "-"
-            counts = ", ".join(
-                f"{k}={v}" for k, v in sorted(deg.items())
-                if k != "records" and v
-            )
-            rows.append([tid, counts or "-", detail])
+            parts = []
+            for k, v in sorted(deg.items()):
+                if k == "records" or not v:
+                    continue
+                if isinstance(v, Mapping):
+                    # Nested histograms (abort_reasons) flatten to one
+                    # readable entry per bucket.
+                    parts.extend(
+                        f"{k}[{kk}]={vv}" for kk, vv in sorted(v.items())
+                    )
+                else:
+                    parts.append(f"{k}={v}")
+            rows.append([tid, ", ".join(parts) or "-", detail])
         lines.append(format_table(
             ["task", "counters", "detail"], rows,
             title="DEGRADATIONS (results usable but not exact — see detail)",
+        ))
+    warnings = report.get("runtime_warnings") or {}
+    if isinstance(warnings, Mapping) and warnings:
+        lines.append(format_table(
+            ["code", "count"],
+            [[code, count] for code, count in sorted(warnings.items())],
+            title="RUNTIME WARNINGS (orchestrator-level, coded)",
         ))
     tasks = report.get("tasks") or {}
     if tasks:
@@ -255,7 +289,9 @@ def render_report(report: Mapping[str, object]) -> str:
                         "sat_learned", "sat_restarts", "sat_lemmas_reused",
                         "sat_shards", "sat_workers",
                         "faults_simulated", "events_propagated",
-                        "verdicts_inherited", "verdicts_proved")
+                        "verdicts_inherited", "verdicts_proved",
+                        "hung_workers", "shard_retries",
+                        "supervise_wakeups")
             if key in totals
         ]
         engine = totals.get("engine")

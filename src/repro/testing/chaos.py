@@ -33,6 +33,7 @@ chaos run is exactly reproducible.
 from __future__ import annotations
 
 import random
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterator, Mapping, Optional
@@ -74,7 +75,27 @@ class ChaosConfig:
       serially with the coded ``MC-FALLBACK-ATPG`` warning and an
       unchanged verdict partition.  The kill fires at most once per
       injector: the serial rerun must not be re-killed (and the serial
-      phase never fires the seam anyway — it runs in the parent).
+      phase never fires the seam anyway — it runs in the parent);
+    * ``hang_shard_at`` — sleep ``hang_shard_s`` seconds on the Nth
+      ``psim.shard_start`` / ``atpg.shard_start`` firing (1-based; 0
+      disables), modelling a hung worker.  Under an active shard
+      deadline the supervisor must reap the worker and re-run the lost
+      shards (``MC-WORKER-HUNG`` / ``MC-SHARD-RETRY``); without one the
+      dispatch blocks for the whole sleep — exactly the failure mode
+      supervision exists for.  Like ``kill_atpg_shard`` the counter is
+      per-process under fork-started pools, so rebuilt workers hang
+      again on their own Nth shard; tests that want a one-shot hang
+      register a flag-file handler directly;
+    * ``slow_shard_every`` — sleep ``slow_shard_ms`` milliseconds on
+      every Nth shard start (0 disables), modelling a slow-but-alive
+      worker: its heartbeats keep advancing, so the supervisor must
+      *not* reap it and results stay bit-identical;
+    * ``torn_board_write_at`` — scribble a garbage value into the
+      shard's own heartbeat word on the Nth shard start (1-based; 0
+      disables), modelling a torn/partial shared-memory write.  The
+      heartbeat row is advisory and outside the CRC-covered payload, so
+      garbage beats may at most delay hang detection — verdicts and
+      detect words must stay bit-identical.
     """
 
     seed: int = 0
@@ -84,6 +105,11 @@ class ChaosConfig:
     corrupt_shm_every: int = 0
     fail_analyze_at: int = 0
     kill_atpg_shard: int = 0
+    hang_shard_at: int = 0
+    hang_shard_s: float = 3600.0
+    slow_shard_every: int = 0
+    slow_shard_ms: float = 50.0
+    torn_board_write_at: int = 0
 
     @classmethod
     def from_env(
@@ -113,7 +139,7 @@ class ChaosConfig:
                 raise ValueError(f"REPRO_CHAOS: expected key=value, got {item!r}")
             key = key.strip()
             value = value.strip()
-            if key == "sat_abort_rate":
+            if key in ("sat_abort_rate", "hang_shard_s", "slow_shard_ms"):
                 kwargs[key] = float(value)
             elif key == "sat_abort_calls":
                 kwargs[key] = frozenset(
@@ -121,7 +147,8 @@ class ChaosConfig:
                 )
             elif key in (
                 "seed", "corrupt_good_cache_every", "corrupt_shm_every",
-                "fail_analyze_at", "kill_atpg_shard",
+                "fail_analyze_at", "kill_atpg_shard", "hang_shard_at",
+                "slow_shard_every", "torn_board_write_at",
             ):
                 kwargs[key] = int(value)
             else:
@@ -148,6 +175,13 @@ class ChaosCounters:
     # instead.
     atpg_shards_seen: int = 0
     workers_killed: int = 0
+    # *.shard_start also fires inside the workers: same per-process
+    # caveat as above — parent-side assertions go through the engine's
+    # coded warnings and supervision counters instead.
+    shard_starts_seen: int = 0
+    hangs_injected: int = 0
+    slowdowns_injected: int = 0
+    torn_writes_injected: int = 0
 
 
 class ChaosInjector:
@@ -238,6 +272,30 @@ class ChaosInjector:
         self.counters.workers_killed += 1
         os.kill(os.getpid(), signal.SIGKILL)
 
+    def _on_shard_start(
+        self, shard: object = None, heartbeats: object = None, **_: object
+    ) -> None:
+        cfg = self.config
+        self.counters.shard_starts_seen += 1
+        idx = self.counters.shard_starts_seen
+        if (
+            cfg.torn_board_write_at
+            and idx == cfg.torn_board_write_at
+            and heartbeats is not None
+        ):
+            # Garbage into the shard's own heartbeat word: a torn write
+            # can only make the supervisor *believe* in liveness (any
+            # change counts as a beat), never corrupt a result — the
+            # row sits outside the CRC-covered payload.
+            heartbeats[shard] = 0xDEAD_BEEF_DEAD_BEEF  # type: ignore[index]
+            self.counters.torn_writes_injected += 1
+        if cfg.hang_shard_at and idx == cfg.hang_shard_at:
+            self.counters.hangs_injected += 1
+            time.sleep(cfg.hang_shard_s)
+        elif cfg.slow_shard_every and idx % cfg.slow_shard_every == 0:
+            self.counters.slowdowns_injected += 1
+            time.sleep(cfg.slow_shard_ms / 1000.0)
+
     def _on_analyze(self, **_: object) -> None:
         cfg = self.config
         self.counters.analyze_calls += 1
@@ -266,6 +324,10 @@ class ChaosInjector:
             seams.register("flow.analyze", self._on_analyze)
         if cfg.kill_atpg_shard:
             seams.register("atpg.shard", self._on_atpg_shard)
+        if (cfg.hang_shard_at or cfg.slow_shard_every
+                or cfg.torn_board_write_at):
+            seams.register("psim.shard_start", self._on_shard_start)
+            seams.register("atpg.shard_start", self._on_shard_start)
         self._installed = True
         return self
 
@@ -277,6 +339,8 @@ class ChaosInjector:
         seams.unregister("fsim.shm_block")
         seams.unregister("flow.analyze")
         seams.unregister("atpg.shard")
+        seams.unregister("psim.shard_start")
+        seams.unregister("atpg.shard_start")
         if self._prev_integrity is not None:
             set_cache_integrity(self._prev_integrity)
             self._prev_integrity = None

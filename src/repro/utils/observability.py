@@ -112,6 +112,19 @@ class EngineStats:
       like ``proc_workers``: merged by max);
     * ``sat_aborts`` — per-fault SAT decisions that ran out of their
       resource budget (deadline / conflict / decision limits);
+    * ``sat_abort_reasons`` — occurrences per tripped budget
+      (``deadline`` / ``conflicts`` / ``decisions`` / ``injected``),
+      summing to ``sat_aborts`` when every abort recorded a reason;
+    * ``hung_workers`` — process workers reaped by the supervisor after
+      their shard's heartbeat went stale past the shard deadline;
+    * ``shard_retries`` — shards re-submitted to a rebuilt pool after a
+      hang (each lost shard is retried exactly once before the run
+      falls down the usual process→thread/serial ladder);
+    * ``supervise_wakeups`` — bounded waits the supervisor loop issued
+      while watching shard futures (0 when supervision is disabled);
+    * ``breaker_state`` — last observed circuit-breaker state per
+      ``(phase, backend, topology)`` key (``closed`` / ``open`` /
+      ``half-open``; merged by update — the later observation wins);
     * ``verdicts_aborted`` — behaviour classes left unclassified by an
       aborted decision (never counted as undetectable);
     * ``cache_integrity_failures`` — corrupted good-value cache entries
@@ -158,6 +171,11 @@ class EngineStats:
     sat_shards: int = 0
     sat_workers: int = 0
     sat_aborts: int = 0
+    sat_abort_reasons: Dict[str, int] = field(default_factory=dict)
+    hung_workers: int = 0
+    shard_retries: int = 0
+    supervise_wakeups: int = 0
+    breaker_state: Dict[str, str] = field(default_factory=dict)
     verdicts_aborted: int = 0
     cache_integrity_failures: int = 0
     degradations: List[str] = field(default_factory=list)
@@ -219,6 +237,13 @@ class EngineStats:
         self.sat_shards += other.sat_shards
         self.sat_workers = max(self.sat_workers, other.sat_workers)
         self.sat_aborts += other.sat_aborts
+        for reason, n in other.sat_abort_reasons.items():
+            self.sat_abort_reasons[reason] = \
+                self.sat_abort_reasons.get(reason, 0) + n
+        self.hung_workers += other.hung_workers
+        self.shard_retries += other.shard_retries
+        self.supervise_wakeups += other.supervise_wakeups
+        self.breaker_state.update(other.breaker_state)
         self.verdicts_aborted += other.verdicts_aborted
         self.cache_integrity_failures += other.cache_integrity_failures
         self.degradations.extend(other.degradations)
@@ -287,6 +312,11 @@ class EngineStats:
             "sat_shards": self.sat_shards,
             "sat_workers": self.sat_workers,
             "sat_aborts": self.sat_aborts,
+            "sat_abort_reasons": dict(self.sat_abort_reasons),
+            "hung_workers": self.hung_workers,
+            "shard_retries": self.shard_retries,
+            "supervise_wakeups": self.supervise_wakeups,
+            "breaker_state": dict(self.breaker_state),
             "verdicts_aborted": self.verdicts_aborted,
             "cache_integrity_failures": self.cache_integrity_failures,
             "degradations": list(self.degradations),

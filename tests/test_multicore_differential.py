@@ -66,6 +66,9 @@ _VOLATILE = {
     "parallel_chunks", "phase_seconds", "eval_cache_hits",
     "eval_cache_misses", "proc_shards", "proc_workers", "shm_bytes",
     "shard_imbalance", "warnings",
+    # Supervision metadata exists only on the process path by nature
+    # (a serial run has no breaker, no supervisor loop).
+    "breaker_state", "supervise_wakeups",
 }
 if os.environ.get("REPRO_CHAOS"):
     # Under an environment-installed chaos injector the corruption

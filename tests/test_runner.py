@@ -232,6 +232,51 @@ class TestRetries:
         report = Runner(c, root=str(tmp_path)).execute()
         assert report["tasks"]["h"]["status"] == "timeout"
 
+    def test_inline_timeout_warns_thread_abandoned(self, tmp_path):
+        """An abandoned inline worker thread is a coded, visible event:
+        journaled as a warning and counted in the report's
+        runtime_warnings — never just a silent daemon-thread leak."""
+        root = str(tmp_path)
+        c = CampaignSpec("ab", [TaskSpec(
+            "h", "hang", {"seconds": 60}, timeout=0.2,
+        )])
+        report = Runner(c, root=root).execute()
+        assert report["tasks"]["h"]["status"] == "timeout"
+        assert report["runtime_warnings"]["RUN-THREAD-ABANDONED"] == 1
+        warnings = [
+            e for e in events_of(root, "ab") if e.get("event") == "warning"
+        ]
+        assert len(warnings) == 1
+        assert warnings[0]["code"] == "RUN-THREAD-ABANDONED"
+        assert warnings[0]["task"] == "h"
+        # A normalized report must not keep process-history facts.
+        assert "runtime_warnings" not in normalize_report(report)
+
+    def test_task_timeout_reaches_inline_task_as_deadline(self, tmp_path):
+        c = CampaignSpec("pd", [TaskSpec(
+            "p", "probe_deadline", timeout=5.0,
+        )])
+        report = Runner(c, root=str(tmp_path)).execute()
+        remaining = report["results"]["p"]["remaining"]
+        assert remaining is not None
+        assert 0.0 < remaining <= 5.0
+
+    def test_untimed_task_sees_no_deadline(self, tmp_path):
+        c = CampaignSpec("pd0", [TaskSpec("p", "probe_deadline")])
+        report = Runner(c, root=str(tmp_path)).execute()
+        assert report["results"]["p"]["remaining"] is None
+
+    def test_task_timeout_reaches_process_isolated_task(self, tmp_path):
+        """Process isolation forwards the budget via
+        REPRO_SUPERVISE_DEADLINE to the fresh interpreter."""
+        c = CampaignSpec("pdp", [TaskSpec(
+            "p", "probe_deadline", timeout=30.0, isolation="process",
+        )])
+        report = Runner(c, root=str(tmp_path)).execute()
+        remaining = report["results"]["p"]["remaining"]
+        assert remaining is not None
+        assert 0.0 < remaining <= 30.0
+
     def test_flaky_task_retries_then_succeeds(self, tmp_path):
         root = str(tmp_path)
         c = CampaignSpec("fl", [TaskSpec(
