@@ -92,6 +92,7 @@ from repro.utils.supervise import (
     CODE_WORKER_HUNG,
     SuperviseConfig,
     WorkerHungError,
+    active_core_share,
     breaker_for,
     resolve_supervision,
     supervise_futures,
@@ -677,6 +678,13 @@ def process_sat_phase(
     from repro.faults.fsim import PatternBatch, fault_simulate
 
     local = EngineStats()
+    # Same dispatch-time ledger renegotiation as the psim pool: the SAT
+    # shard count tracks the campaign scheduler's current fair share.
+    share = active_core_share()
+    if share is not None:
+        workers = max(1, min(workers, share))
+        local.ledger_grants += 1
+        local.ledger_workers = max(local.ledger_workers, workers)
     plan = CompiledCircuit.get(circuit, cells, stats=local)
     shards = site_shards(circuit, plan, faults, workers)
     caps = [len(s) for s in shards]

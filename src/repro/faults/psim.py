@@ -117,6 +117,7 @@ from repro.utils.supervise import (
     CODE_WORKER_HUNG,
     SuperviseConfig,
     WorkerHungError,
+    active_core_share,
     breaker_for,
     resolve_supervision,
     supervise_futures,
@@ -664,6 +665,15 @@ def process_fault_simulate(
     from repro.faults.fsim import _fault_site_index, _partition_faults
 
     local = EngineStats()
+    # Dispatch-time renegotiation against the campaign core ledger: a
+    # task that started with 4 in-flight peers and now runs alone widens
+    # to the full machine on this batch; a newly crowded ledger shrinks
+    # it.  Unmanaged callers (no lease, no static share) keep *workers*.
+    share = active_core_share()
+    if share is not None:
+        workers = max(1, min(workers, share))
+        local.ledger_grants += 1
+        local.ledger_workers = max(local.ledger_workers, workers)
     plan, good1, good2, words = _parent_arrays(
         circuit, cells, batch, backend, local
     )

@@ -42,7 +42,7 @@ import numpy as np
 
 from repro.netlist.circuit import NetlistError
 from repro.netlist.simulator import CompiledCircuit, cache_integrity_enabled
-from repro.utils import seams
+from repro.utils import seams, supervise
 from repro.utils.observability import EngineStats
 
 BACKEND_EVENT = "event"
@@ -124,12 +124,26 @@ def resolve_atpg_exec(exec_mode: Optional[str] = None) -> str:
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
-    """Worker count; ``None`` falls back to ``REPRO_SIM_WORKERS`` (1)."""
+    """Worker count; ``None`` falls back to ``REPRO_SIM_WORKERS`` (1).
+
+    When the campaign scheduler has a :class:`~repro.utils.supervise.Lease`
+    active on this thread (or a process-isolated task worker installed a
+    static share from ``REPRO_RUN_CORE_SHARE``), the request is
+    negotiated against the core ledger: ``None`` with no environment
+    override means "my fair share", and an explicit count is capped at
+    the share.  Unmanaged callers see the historical behaviour exactly.
+    """
     if workers is None:
-        workers = int(os.environ.get("REPRO_SIM_WORKERS", "1"))
+        raw = os.environ.get("REPRO_SIM_WORKERS", "").strip()
+        if raw:
+            workers = int(raw)
+        else:
+            granted = supervise.negotiate_workers(None)
+            return 1 if granted is None else granted
     if workers < 1:
         raise ValueError(f"workers must be at least 1, got {workers}")
-    return workers
+    granted = supervise.negotiate_workers(workers)
+    return workers if granted is None else granted
 
 
 def resolve_words(words: Optional[int] = None) -> int:

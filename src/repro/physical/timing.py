@@ -38,7 +38,9 @@ def net_load_cap(
 ) -> float:
     """Total capacitive load on *net*: sink pins + wire + PO pad."""
     cap = 0.0
-    for gname, pin in circuit.loads(net):
+    # Sorted: loads() iteration order is salted per process, and float
+    # accumulation order must not leak into timing numbers.
+    for gname, pin in sorted(circuit.loads(net)):
         cap += cells[circuit.gates[gname].cell].input_cap
     if layout is not None:
         cap += WIRE_CAP_PER_TRACK * layout.net_length(net)

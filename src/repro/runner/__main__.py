@@ -94,7 +94,16 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-iter", type=int, default=6)
     run.add_argument("--scale", type=int, default=1)
     run.add_argument("--seed", type=int, default=0)
-    run.add_argument("--workers", type=int, default=1)
+    run.add_argument(
+        "--workers", type=int, default=None,
+        help="fault-simulation workers per task (default: negotiated "
+             "from the core ledger under --jobs > 1, else 1)",
+    )
+    run.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="concurrent campaign tasks (default: REPRO_RUN_JOBS, "
+             "falling back to the CPU count; 1 = serial)",
+    )
     run.add_argument(
         "--exec-mode", default=None,
         choices=("serial", "thread", "process", "auto"),
@@ -125,6 +134,11 @@ def _build_parser() -> argparse.ArgumentParser:
     res = sub.add_parser("resume", help="resume a run from its journal")
     res.add_argument("run_id")
     _add_common(res)
+    res.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="concurrent campaign tasks (default: REPRO_RUN_JOBS, "
+             "falling back to the CPU count; 1 = serial)",
+    )
     res.add_argument(
         "--kill-at", default=None, metavar="TASK[:ATTEMPT]",
         help="fault injection: SIGKILL self after that task_start",
@@ -255,7 +269,9 @@ def _cmd_run(args) -> int:
             print(f"  {problem}", file=sys.stderr)
         return 2
     hook = _parse_kill_at(args.kill_at) if args.kill_at else None
-    runner = Runner(campaign, root=args.out, on_task_start=hook)
+    runner = Runner(
+        campaign, root=args.out, on_task_start=hook, jobs=args.jobs
+    )
     report = runner.execute()
     print(render_report(report))
     return 0 if report["status"] == "ok" else 1
@@ -270,10 +286,11 @@ def _cmd_resume(args) -> int:
         runner = Runner(
             campaign, root=args.out,
             on_task_start=_parse_kill_at(args.kill_at),
+            jobs=args.jobs,
         )
         report = runner.execute()
     else:
-        report = resume(args.run_id, root=args.out)
+        report = resume(args.run_id, root=args.out, jobs=args.jobs)
     print(render_report(report))
     return 0 if report["status"] == "ok" else 1
 

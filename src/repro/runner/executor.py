@@ -1,10 +1,26 @@
-"""DAG execution: timeouts, retries with backoff, isolation, resume.
+"""DAG execution: concurrency, timeouts, retries, isolation, resume.
 
-:class:`Runner` executes a :class:`~repro.runner.model.CampaignSpec` in
-deterministic topological order.  Around every task it journals
+:class:`Runner` executes a :class:`~repro.runner.model.CampaignSpec`
+either serially in deterministic topological order (``jobs=1``) or with
+a **ready-set scheduler** (``jobs>1`` / ``REPRO_RUN_JOBS``, default =
+CPU count): tasks whose dependencies are all settled dispatch
+concurrently onto a bounded thread pool, and a process-global
+:class:`~repro.utils.supervise.CoreLedger` arbitrates cores between the
+scheduler and the inner psim/patpg pools — a task running alone may
+claim every core, four peers get a quarter each, renegotiated at every
+pool dispatch as peers finish.  Around every task it journals
 ``task_start`` / ``task_end`` events (fsync'd before proceeding), so the
 run directory always reflects exactly what has finished — a SIGKILL,
-OOM, or power cut mid-campaign loses at most the task that was running.
+OOM, or power cut mid-campaign loses at most the tasks that were
+running.
+
+Concurrency changes *when* tasks run, never *what* they compute: journal
+events are task-keyed so replay / ``diff`` / resume are insensitive to
+interleaving, outcomes are re-ordered to campaign topological order
+before the report is built, and worker-count negotiation only touches
+execution-shape counters (all volatile under
+:func:`~repro.runner.report.normalize_report`) — a ``jobs=4`` report
+normalizes bit-identical to a serial one.
 
 Execution policy per task:
 
@@ -41,8 +57,9 @@ import sys
 import threading
 import time
 from collections import OrderedDict
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.runner.journal import Journal, RunLedger, read_journal, replay
 from repro.runner.model import (
@@ -54,9 +71,27 @@ from repro.runner.model import (
 )
 from repro.runner.registry import TaskContext, fingerprint_extra, get_task
 from repro.runner.report import build_report, write_report
-from repro.utils.supervise import deadline_scope
+from repro.utils.supervise import (
+    activate_lease,
+    core_ledger,
+    current_lease,
+    deadline_scope,
+)
 
 DEFAULT_RUNS_ROOT = os.path.join("benchmarks", "results", "runs")
+
+
+def resolve_run_jobs(jobs: Optional[int] = None) -> int:
+    """Scheduler width; ``None`` falls back to ``REPRO_RUN_JOBS`` (CPUs).
+
+    ``--jobs`` / an explicit argument wins over the environment; the
+    default saturates the machine with one in-flight task per core
+    (inner pools then negotiate their own share off the core ledger).
+    """
+    if jobs is None:
+        raw = os.environ.get("REPRO_RUN_JOBS", "").strip()
+        jobs = int(raw) if raw else (os.cpu_count() or 1)
+    return max(1, int(jobs))
 
 # Coded warning: an inline task hit its timeout and its worker thread
 # was abandoned (daemon threads cannot be killed).  Journaled as a
@@ -110,6 +145,13 @@ class Runner:
     # the orchestrator mid-task).
     on_task_start: Optional[Callable[[str, int], None]] = None
     sleep: Callable[[float], None] = time.sleep
+    # Scheduler width: None resolves via REPRO_RUN_JOBS / CPU count at
+    # execute() time; 1 is the historical serial path, bit-for-bit.
+    jobs: Optional[int] = None
+    # Minimum seconds between campaign.json rewrites for lazily-added
+    # tasks (the incremental execute_spec API); finalize and dispatch
+    # waves always flush, so a crash loses at most this window.
+    campaign_save_interval: float = 1.0
 
     outcomes: "OrderedDict[str, TaskOutcome]" = field(
         default_factory=OrderedDict
@@ -124,6 +166,12 @@ class Runner:
         # code -> count of runtime warnings this orchestrator life saw
         # (abandoned threads, ...); folded into the final report.
         self.runtime_warnings: Dict[str, int] = {}
+        self._warn_lock = threading.Lock()
+        self._campaign_dirty = False
+        self._campaign_saved_at = 0.0
+        # Scheduler observability for the report's UTILIZATION section
+        # (populated only by the concurrent path).
+        self.scheduler_info: Optional[dict] = None
 
     # ------------------------------------------------------------------
     @property
@@ -144,6 +192,8 @@ class Runner:
         )
         self.ledger = replay(prior)
         self.campaign.save(self.campaign_path)
+        self._campaign_dirty = False
+        self._campaign_saved_at = time.monotonic()
         self.journal = Journal(self.journal_path)
         if not prior:
             self.journal.append({
@@ -160,27 +210,57 @@ class Runner:
                 "run_id": self.campaign.run_id,
             })
 
+    def _save_campaign(self, force: bool = False) -> None:
+        """Debounced campaign.json rewrite (satellite of the scheduler PR).
+
+        The incremental :meth:`execute_spec` API used to rewrite the
+        whole campaign file per lazily-added task — O(n²) bytes over a
+        benchmark harness.  A dirty flag plus a minimum save interval
+        makes the cost time-bound; finalize and every dispatch wave
+        flush unconditionally so resumability windows stay small.
+        """
+        if not self._campaign_dirty:
+            return
+        now = time.monotonic()
+        if not force and (
+            now - self._campaign_saved_at < self.campaign_save_interval
+        ):
+            return
+        self.campaign.save(self.campaign_path)
+        self._campaign_dirty = False
+        self._campaign_saved_at = now
+
     # ------------------------------------------------------------------
     def execute(self) -> dict:
-        """Run every task (topological order) and finalize the report."""
+        """Run every task and finalize the report.
+
+        ``jobs=1``: the historical serial loop in topological order.
+        ``jobs>1``: the ready-set scheduler — same journal schema, same
+        resume discipline, same normalized report.
+        """
         order = self.campaign.topo_order()  # validates before any I/O
         self._ensure_started()
-        for spec in order:
-            self._execute_spec(spec)
+        jobs = resolve_run_jobs(self.jobs)
+        if jobs <= 1 or len(order) <= 1:
+            for spec in order:
+                self._execute_spec(spec)
+        else:
+            self._execute_concurrent(order, jobs)
         return self.finalize()
 
     def execute_spec(self, spec: TaskSpec) -> TaskOutcome:
         """Incremental API: append *spec* to the campaign and run it.
 
         Used by the pytest benchmark harness, which discovers its tasks
-        lazily; the campaign file is rewritten so the run stays
-        resumable.
+        lazily; the campaign file is rewritten (debounced) so the run
+        stays resumable.
         """
         if spec.task_id not in self._known:
             self.campaign.tasks.append(spec)
             self._known.add(spec.task_id)
             self._ensure_started()
-            self.campaign.save(self.campaign_path)
+            self._campaign_dirty = True
+            self._save_campaign()
         else:
             self._ensure_started()
         return self._execute_spec(spec)
@@ -188,6 +268,18 @@ class Runner:
     def finalize(self) -> dict:
         """Journal the aggregated report and the run_end event."""
         self._ensure_started()
+        self._save_campaign(force=True)
+        # Report determinism under concurrency: outcomes settle in
+        # completion order, which interleaving makes nondeterministic;
+        # the report always presents them in campaign topological order.
+        ordered: "OrderedDict[str, TaskOutcome]" = OrderedDict()
+        for spec in self.campaign.topo_order():
+            if spec.task_id in self.outcomes:
+                ordered[spec.task_id] = self.outcomes[spec.task_id]
+        for tid, outcome in self.outcomes.items():
+            if tid not in ordered:
+                ordered[tid] = outcome
+        self.outcomes = ordered
         failed = [o for o in self.outcomes.values() if not o.ok]
         status = "failed" if failed else "ok"
         report = build_report(
@@ -197,6 +289,7 @@ class Runner:
                 (tid, o.as_dict()) for tid, o in self.outcomes.items()
             ),
             runtime_warnings=self.runtime_warnings,
+            scheduler=self.scheduler_info,
         )
         self.journal.append({"event": "report", "report": report})
         write_report(self.run_dir, report)
@@ -225,7 +318,17 @@ class Runner:
             self._fps[spec.task_id] = fp
         return fp
 
-    def _execute_spec(self, spec: TaskSpec) -> TaskOutcome:
+    def _settle_fast(self, spec: TaskSpec) -> Optional[TaskOutcome]:
+        """Settle *spec* without running it, if possible.
+
+        Fingerprints the task (deps must already be settled), then
+        resolves the no-execution outcomes: already done this life,
+        journaled-complete with a matching fingerprint (``task_cached``),
+        or skipped because a dependency failed.  Returns ``None`` when
+        the task genuinely needs an execution attempt.  Runs on the
+        scheduler thread only, so fingerprint and journal bookkeeping
+        stay single-writer.
+        """
         done = self.outcomes.get(spec.task_id)
         if done is not None:
             return done
@@ -264,10 +367,122 @@ class Runner:
             )
             self.outcomes[spec.task_id] = outcome
             return outcome
+        return None
 
-        outcome = self._run_attempts(spec, fp)
+    def _execute_spec(self, spec: TaskSpec) -> TaskOutcome:
+        outcome = self._settle_fast(spec)
+        if outcome is not None:
+            return outcome
+        outcome = self._run_attempts(spec, self._fps[spec.task_id])
         self.outcomes[spec.task_id] = outcome
         return outcome
+
+    # ------------------------------------------------------------------
+    # Ready-set scheduler (jobs > 1)
+    # ------------------------------------------------------------------
+    def _execute_concurrent(self, order: List[TaskSpec], jobs: int) -> None:
+        """Dispatch ready tasks onto a bounded pool until the DAG drains.
+
+        A task is *ready* when every dependency has an outcome.  Ready
+        tasks are settled fast-path first (cached / skipped — these may
+        unblock dependents within the same wave); the remainder are
+        submitted to the pool, each wrapped in a core-ledger lease so
+        the inner engine pools size themselves off the live peer count.
+        The scheduler thread is the only writer of ``outcomes``, the
+        fingerprint map, and the campaign file; worker threads only
+        journal their own task events (the journal is thread-safe) and
+        return their outcome through the future.
+        """
+        ledger = core_ledger()
+        ledger.configure()  # re-read REPRO_RUN_CORES at execute time
+        started = time.perf_counter()
+        pending: "OrderedDict[str, TaskSpec]" = OrderedDict(
+            (s.task_id, s) for s in order
+        )
+        in_flight: Dict[Future, str] = {}
+        spans: Dict[str, Dict[str, float]] = {}
+        peak_in_flight = 0
+        base_grants = ledger.total_grants
+        with ThreadPoolExecutor(
+            max_workers=jobs, thread_name_prefix="repro-sched"
+        ) as pool:
+            while pending or in_flight:
+                progressed = True
+                while progressed:
+                    progressed = False
+                    for task_id in list(pending):
+                        spec = pending[task_id]
+                        if any(d not in self.outcomes for d in spec.deps):
+                            continue
+                        del pending[task_id]
+                        if self._settle_fast(spec) is not None:
+                            # Settled without running: dependents may
+                            # have become ready — rescan this wave.
+                            progressed = True
+                            continue
+                        self._save_campaign(force=True)
+                        fut = pool.submit(
+                            self._run_leased,
+                            spec,
+                            self._fps[spec.task_id],
+                            time.perf_counter(),
+                        )
+                        in_flight[fut] = task_id
+                peak_in_flight = max(peak_in_flight, len(in_flight))
+                # Group-commit any batched journal writes before
+                # blocking: everything dispatched so far is durable.
+                self.journal.commit()
+                if not in_flight:
+                    if pending:  # unreachable after topo validation
+                        raise RuntimeError(
+                            "scheduler stalled with tasks pending: "
+                            f"{sorted(pending)}"
+                        )
+                    break
+                finished, _ = wait(
+                    list(in_flight), return_when=FIRST_COMPLETED
+                )
+                for fut in finished:
+                    task_id = in_flight.pop(fut)
+                    outcome, span = fut.result()
+                    self.outcomes[task_id] = outcome
+                    spans[task_id] = span
+        self.journal.commit()
+        makespan = time.perf_counter() - started
+        busy = sum(span["run"] for span in spans.values())
+        self.scheduler_info = {
+            "run_jobs": jobs,
+            "ledger_total": ledger.total,
+            "ledger_grants": ledger.total_grants - base_grants,
+            "peak_in_flight": peak_in_flight,
+            "makespan": makespan,
+            "busy_seconds": busy,
+            "spans": {
+                s.task_id: spans[s.task_id]
+                for s in order if s.task_id in spans
+            },
+        }
+        self.journal.append({
+            "event": "scheduler",
+            "run_id": self.campaign.run_id,
+            **{k: v for k, v in self.scheduler_info.items() if k != "spans"},
+        })
+
+    def _run_leased(
+        self, spec: TaskSpec, fp: str, enqueued: float
+    ) -> Tuple[TaskOutcome, Dict[str, float]]:
+        """Worker-thread body: run one task under a core-ledger lease."""
+        lease = core_ledger().acquire(spec.task_id)
+        t0 = time.perf_counter()
+        try:
+            with lease.activate():
+                outcome = self._run_attempts(spec, fp)
+        finally:
+            lease.release()
+        return outcome, {
+            "queued": t0 - enqueued,
+            "run": time.perf_counter() - t0,
+        }
 
     def _run_attempts(self, spec: TaskSpec, fp: str) -> TaskOutcome:
         ctx = TaskContext(
@@ -349,14 +564,16 @@ class Runner:
             except Exception as exc:
                 raise TaskFailure(f"{type(exc).__name__}: {exc}") from exc
         box: dict = {}
+        lease = current_lease()
 
         def body() -> None:
-            # The deadline scope is thread-local, so it must be entered
-            # *inside* the worker thread: engine dispatch layers under
-            # this body read remaining_time() to bound their own shards
-            # and SAT calls, which usually beats the abandon backstop.
+            # The deadline scope and the core lease are thread-local, so
+            # both must be installed *inside* the worker thread: engine
+            # dispatch layers under this body read remaining_time() to
+            # bound their own shards and SAT calls, and negotiate their
+            # worker counts off the scheduler's lease.
             try:
-                with deadline_scope(spec.timeout):
+                with activate_lease(lease), deadline_scope(spec.timeout):
                     box["payload"] = fn(spec.params, ctx)
             except BaseException as exc:  # captured, re-raised below
                 box["error"] = exc
@@ -384,8 +601,15 @@ class Runner:
         return box["payload"]
 
     def _warn(self, code: str, message: str, **extra: object) -> None:
-        """Journal a coded runtime warning and count it for the report."""
-        self.runtime_warnings[code] = self.runtime_warnings.get(code, 0) + 1
+        """Journal a coded runtime warning and count it for the report.
+
+        Called from scheduler worker threads too, so the counter update
+        is locked (the journal serializes its own writes).
+        """
+        with self._warn_lock:
+            self.runtime_warnings[code] = (
+                self.runtime_warnings.get(code, 0) + 1
+            )
         event = {"event": "warning", "code": code, "message": message}
         event.update(extra)
         self.journal.append(event)
@@ -420,6 +644,14 @@ class Runner:
             # startup (_worker calls install_deadline_from_env), so the
             # engine bounds itself before the parent's kill fires.
             env["REPRO_SUPERVISE_DEADLINE"] = str(spec.timeout)
+        lease = current_lease()
+        if lease is not None:
+            # A process-isolated task cannot see the parent's core
+            # ledger; export the share current at dispatch time so the
+            # child's pools cap themselves at it (_worker installs it).
+            env["REPRO_RUN_CORE_SHARE"] = str(lease.ledger.share())
+        else:
+            env.pop("REPRO_RUN_CORE_SHARE", None)
         proc = subprocess.Popen(
             [sys.executable, "-m", "repro.runner._worker",
              in_path, out_path],
@@ -451,10 +683,12 @@ def run_campaign(
     root: str = DEFAULT_RUNS_ROOT,
     store: Optional[dict] = None,
     on_task_start: Optional[Callable[[str, int], None]] = None,
+    jobs: Optional[int] = None,
 ) -> dict:
     """Execute *campaign* from scratch; returns the final report."""
     runner = Runner(
-        campaign, root=root, store=store, on_task_start=on_task_start
+        campaign, root=root, store=store, on_task_start=on_task_start,
+        jobs=jobs,
     )
     return runner.execute()
 
@@ -463,13 +697,17 @@ def resume(
     run_id: str,
     root: str = DEFAULT_RUNS_ROOT,
     store: Optional[dict] = None,
+    jobs: Optional[int] = None,
 ) -> dict:
     """Resume *run_id* from its journal; returns the final report.
 
     Replays ``<root>/<run_id>/journal.jsonl``, reuses every completed
-    task whose fingerprint still matches, and executes the rest.
+    task whose fingerprint still matches, and executes the rest —
+    concurrently when *jobs* (or ``REPRO_RUN_JOBS``) says so; resume
+    and scheduling compose because cached settling happens on the
+    scheduler thread before anything dispatches.
     """
     campaign_path = os.path.join(root, run_id, "campaign.json")
     campaign = CampaignSpec.load(campaign_path)
-    runner = Runner(campaign, root=root, store=store)
+    runner = Runner(campaign, root=root, store=store, jobs=jobs)
     return runner.execute()

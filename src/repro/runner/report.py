@@ -55,6 +55,21 @@ VOLATILE_KEYS = frozenset({
     "breaker_state",
     "sat_abort_reasons",
     "abort_reasons",
+    # Execution-shape counters: how the work was sliced across workers,
+    # threads, and shards.  A jobs=4 campaign under ledger-negotiated
+    # worker counts slices differently from a serial one, yet computes
+    # bit-identical results — exactly what normalized comparison checks.
+    "scheduler",
+    "run_jobs",
+    "ledger_grants",
+    "ledger_workers",
+    "parallel_chunks",
+    "proc_shards",
+    "proc_workers",
+    "shm_bytes",
+    "shard_imbalance",
+    "sat_shards",
+    "sat_workers",
 })
 
 
@@ -90,6 +105,7 @@ def build_report(
     run_id: str,
     outcomes: Mapping[str, dict],
     runtime_warnings: Optional[Mapping[str, int]] = None,
+    scheduler: Optional[Mapping[str, object]] = None,
 ) -> dict:
     """Aggregate task *outcomes* into the final report.
 
@@ -98,7 +114,10 @@ def build_report(
     completed (their recorded payload stands in for a fresh execution).
     *runtime_warnings* maps warning codes (``RUN-THREAD-ABANDONED``) to
     counts from this orchestrator life; present in the report only when
-    something actually warned.
+    something actually warned.  *scheduler* is the concurrent
+    scheduler's utilization snapshot (``run_jobs``, ``ledger_grants``,
+    per-task queue/run spans); volatile by definition, so
+    :func:`normalize_report` strips it whole.
     """
     from repro.core.metrics import average_rows
 
@@ -171,6 +190,8 @@ def build_report(
         report["degradations"] = degradations
     if runtime_warnings:
         report["runtime_warnings"] = dict(runtime_warnings)
+    if scheduler:
+        report["scheduler"] = dict(scheduler)
     return report
 
 
@@ -281,6 +302,32 @@ def render_report(report: Mapping[str, object]) -> str:
             ["task", "kind", "status", "attempts", "wall"], rows,
             title="TASKS (where the wall-clock went)",
         ))
+    scheduler = report.get("scheduler") or {}
+    if isinstance(scheduler, Mapping) and scheduler:
+        head = [
+            [key, scheduler[key]]
+            for key in ("run_jobs", "ledger_total", "ledger_grants",
+                        "peak_in_flight", "makespan")
+            if key in scheduler
+        ]
+        if head:
+            lines.append(format_table(
+                ["metric", "value"],
+                [[k, f"{v:.2f}s" if k == "makespan" else v]
+                 for k, v in head],
+                title="UTILIZATION (campaign scheduler)",
+            ))
+        spans = scheduler.get("spans")
+        if isinstance(spans, Mapping) and spans:
+            rows = [
+                [tid, f"{span.get('queued', 0.0):.2f}s",
+                 f"{span.get('run', 0.0):.2f}s"]
+                for tid, span in spans.items()
+            ]
+            lines.append(format_table(
+                ["task", "queued", "run"], rows,
+                title="UTILIZATION (per-task queue/run spans)",
+            ))
     totals = report.get("engine_totals") or {}
     if totals:
         effort = [
@@ -291,7 +338,8 @@ def render_report(report: Mapping[str, object]) -> str:
                         "faults_simulated", "events_propagated",
                         "verdicts_inherited", "verdicts_proved",
                         "hung_workers", "shard_retries",
-                        "supervise_wakeups")
+                        "supervise_wakeups",
+                        "ledger_grants", "ledger_workers")
             if key in totals
         ]
         engine = totals.get("engine")

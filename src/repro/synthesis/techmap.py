@@ -317,7 +317,9 @@ def _rename_net(circuit: Circuit, old: str, new: str) -> None:
     if old == new:
         return
     drv = circuit.driver(old)
-    loads = circuit.loads(old)
+    # Sorted: loads() is a set of str tuples, whose iteration order is
+    # salted per process — gate re-insertion order must not be.
+    loads = sorted(circuit.loads(old))
     gate = circuit.gates[drv]
     circuit.remove_gate(drv)
     for gname, pin in loads:

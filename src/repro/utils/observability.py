@@ -88,6 +88,12 @@ class EngineStats:
     * ``shard_imbalance`` — worst LPT shard balance seen: the largest
       shard's propagation-cost estimate divided by the ideal (total
       cost / shards).  1.0 is perfect balance; merged by max;
+    * ``ledger_grants`` — worker-count negotiations against the
+      campaign :class:`~repro.utils.supervise.CoreLedger` (one per
+      pool dispatch running under a scheduler lease or static core
+      share; 0 for unmanaged runs);
+    * ``ledger_workers`` — widest ledger-granted pool seen (a
+      high-water mark like ``proc_workers``: merged by max);
     * ``warnings`` — coded execution warnings (e.g. a requested process
       pool silently falling back to threads would be invisible without
       this): ``"CODE: message"`` strings, appended via :func:`warn_coded`
@@ -160,6 +166,8 @@ class EngineStats:
     proc_workers: int = 0
     shm_bytes: int = 0
     shard_imbalance: float = 0.0
+    ledger_grants: int = 0
+    ledger_workers: int = 0
     warnings: List[str] = field(default_factory=list)
     warning_counts: Dict[str, int] = field(default_factory=dict)
     sat_calls: int = 0
@@ -227,6 +235,8 @@ class EngineStats:
         self.shard_imbalance = max(
             self.shard_imbalance, other.shard_imbalance
         )
+        self.ledger_grants += other.ledger_grants
+        self.ledger_workers = max(self.ledger_workers, other.ledger_workers)
         self._merge_warnings(other)
         self.sat_calls += other.sat_calls
         self.sat_conflicts += other.sat_conflicts
@@ -301,6 +311,8 @@ class EngineStats:
             "proc_workers": self.proc_workers,
             "shm_bytes": self.shm_bytes,
             "shard_imbalance": self.shard_imbalance,
+            "ledger_grants": self.ledger_grants,
+            "ledger_workers": self.ledger_workers,
             "warnings": list(self.warnings),
             "warning_counts": dict(self.warning_counts),
             "sat_calls": self.sat_calls,

@@ -421,3 +421,203 @@ def breaker_states() -> Dict[str, str]:
     """Snapshot of every live breaker's state (observability hook)."""
     with _BREAKERS_LOCK:
         return {str(key): b.state for key, b in _BREAKERS.items()}
+
+
+# ----------------------------------------------------------------------
+# Core ledger (campaign scheduler <-> inner pool arbitration)
+# ----------------------------------------------------------------------
+class Lease:
+    """One in-flight task's claim on the :class:`CoreLedger`.
+
+    The scheduler acquires a lease per dispatched task and activates it
+    on the thread running the task body; every inner pool that asks for
+    workers while the lease is active is granted at most the ledger's
+    current fair share.  Grants are re-evaluated on every call, so a
+    task that outlives its peers widens to the full machine on its next
+    batch without any callback plumbing.
+    """
+
+    def __init__(self, ledger: "CoreLedger", task_id: str):
+        self.ledger = ledger
+        self.task_id = task_id
+        self.grants = 0
+        self.peak_workers = 0
+        self.released = False
+
+    def grant(self, requested: Optional[int]) -> int:
+        """Workers allowed right now for a *requested* count.
+
+        ``None`` means "as many as I'm allowed" (the lease share); an
+        explicit request is capped at the share but never below 1.
+        """
+        share = self.ledger.share()
+        allowed = share if requested is None else max(1, min(requested, share))
+        self.grants += 1
+        self.peak_workers = max(self.peak_workers, allowed)
+        self.ledger.record_grant(allowed)
+        return allowed
+
+    def release(self) -> None:
+        if not self.released:
+            self.released = True
+            self.ledger._release(self)
+
+    def activate(self) -> "activate_lease":
+        return activate_lease(self)
+
+
+class CoreLedger:
+    """Process-global arbiter dividing cores among in-flight tasks.
+
+    ``share()`` is the fair slice for one active lease:
+    ``max(1, total // active)`` — a lone task gets everything, four
+    peers get a quarter each, and shares renegotiate implicitly because
+    pools ask again on every dispatch.  Oversubscription is bounded at
+    ``total + active`` in the worst instant (integer division rounds
+    down, lone stragglers round up to 1), never quadratic.
+    """
+
+    def __init__(self, total: Optional[int] = None):
+        self._lock = threading.Lock()
+        self._active: Dict[int, Lease] = {}
+        self.total_grants = 0
+        self.peak_active = 0
+        self.configure(total)
+
+    def configure(self, total: Optional[int] = None) -> None:
+        """Set the core budget; ``None`` reads ``REPRO_RUN_CORES``/CPU count."""
+        if total is None:
+            raw = os.environ.get("REPRO_RUN_CORES", "").strip()
+            if raw:
+                total = int(raw)
+            else:
+                total = os.cpu_count() or 1
+        with self._lock:
+            self.total = max(1, int(total))
+
+    def acquire(self, task_id: str) -> Lease:
+        lease = Lease(self, task_id)
+        with self._lock:
+            self._active[id(lease)] = lease
+            self.peak_active = max(self.peak_active, len(self._active))
+        return lease
+
+    def _release(self, lease: Lease) -> None:
+        with self._lock:
+            self._active.pop(id(lease), None)
+
+    def share(self) -> int:
+        """Current fair share per active lease (>= 1)."""
+        with self._lock:
+            active = max(1, len(self._active))
+            return max(1, self.total // active)
+
+    def active_count(self) -> int:
+        with self._lock:
+            return len(self._active)
+
+    def record_grant(self, allowed: int) -> None:
+        with self._lock:
+            self.total_grants += 1
+
+
+_CORE_LEDGER: Optional[CoreLedger] = None
+_CORE_LEDGER_LOCK = threading.Lock()
+_LEASE = threading.local()
+_STATIC_SHARE: Optional[int] = None
+
+
+def core_ledger() -> CoreLedger:
+    """The process-global ledger (created lazily)."""
+    global _CORE_LEDGER
+    with _CORE_LEDGER_LOCK:
+        if _CORE_LEDGER is None:
+            _CORE_LEDGER = CoreLedger()
+        return _CORE_LEDGER
+
+
+def reset_core_ledger() -> None:
+    """Drop the ledger, any active lease, and the static share (test hook)."""
+    global _CORE_LEDGER, _STATIC_SHARE
+    with _CORE_LEDGER_LOCK:
+        _CORE_LEDGER = None
+    _STATIC_SHARE = None
+    _LEASE.current = None
+
+
+def current_lease() -> Optional[Lease]:
+    """The lease active on this thread, if any."""
+    return getattr(_LEASE, "current", None)
+
+
+class activate_lease:
+    """Install *lease* as this thread's active lease (nestable, None ok).
+
+    The scheduler enters this on the thread executing a task body; the
+    runner re-enters it inside the timed-body worker thread so the
+    lease survives the thread hop.
+    """
+
+    def __init__(self, lease: Optional[Lease]):
+        self._lease = lease
+        self._prev: Optional[Lease] = None
+
+    def __enter__(self) -> "activate_lease":
+        self._prev = getattr(_LEASE, "current", None)
+        if self._lease is not None:
+            _LEASE.current = self._lease
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _LEASE.current = self._prev
+
+
+def install_core_share_from_env(
+    environ: Optional[Mapping[str, str]] = None,
+) -> Optional[int]:
+    """Adopt ``REPRO_RUN_CORE_SHARE`` as this process's static share.
+
+    Process-isolated task workers cannot see the parent's ledger, so
+    the runner exports the share that was current at dispatch time and
+    the fresh interpreter caps every pool at it.  Returns the installed
+    share (None when unset).
+    """
+    global _STATIC_SHARE
+    env = os.environ if environ is None else environ
+    raw = env.get("REPRO_RUN_CORE_SHARE", "").strip()
+    if not raw:
+        return None
+    share = max(1, int(raw))
+    _STATIC_SHARE = share
+    return share
+
+
+def negotiate_workers(requested: Optional[int]) -> Optional[int]:
+    """Cap a worker request at the caller's core entitlement.
+
+    Resolution order: an active :class:`Lease` (scheduler-managed
+    thread) wins, then the static share installed from
+    ``REPRO_RUN_CORE_SHARE`` (process-isolated worker); with neither,
+    the request passes through untouched — serial runs and direct API
+    callers see exactly the historical behaviour.
+    """
+    lease = current_lease()
+    if lease is not None:
+        return lease.grant(requested)
+    if _STATIC_SHARE is not None:
+        if requested is None:
+            return _STATIC_SHARE
+        return max(1, min(requested, _STATIC_SHARE))
+    return requested
+
+
+def active_core_share() -> Optional[int]:
+    """The share a renegotiating pool should cap itself at right now.
+
+    ``None`` means unmanaged (no lease, no static share) — pools keep
+    their configured worker count.
+    """
+    lease = current_lease()
+    if lease is not None:
+        return lease.ledger.share()
+    return _STATIC_SHARE

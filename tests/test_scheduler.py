@@ -1,0 +1,657 @@
+"""Tests for the concurrent campaign scheduler and the core ledger.
+
+The contract under test: ``jobs>1`` changes *when* tasks run, never
+*what* they compute — normalized reports are bit-identical to serial
+runs, resume never re-executes completed work even when the orchestrator
+is SIGKILLed mid-wave, and per-task timeouts bound stuck tasks without
+stalling their peers.  The :class:`~repro.utils.supervise.CoreLedger`
+divides cores fairly among in-flight tasks and renegotiates as peers
+finish.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+import repro
+from repro.runner import (
+    CampaignSpec,
+    Runner,
+    TaskSpec,
+    normalize_report,
+    read_journal,
+    replay,
+)
+from repro.runner.executor import resolve_run_jobs
+from repro.runner.journal import (
+    FSYNC_BATCH,
+    FSYNC_EVENT,
+    Journal,
+    resolve_fsync_mode,
+    verify_resume_discipline,
+)
+from repro.runner.model import (
+    fingerprint_task,
+    observed_env_knobs,
+)
+from repro.utils.supervise import (
+    CoreLedger,
+    activate_lease,
+    active_core_share,
+    core_ledger,
+    current_lease,
+    install_core_share_from_env,
+    negotiate_workers,
+    reset_core_ledger,
+)
+
+SRC_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+posix_only = pytest.mark.skipif(
+    os.name != "posix", reason="SIGKILL semantics are POSIX-only"
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_ledger(monkeypatch):
+    """Every test starts with a fresh process-global ledger and no knobs."""
+    for knob in ("REPRO_RUN_CORES", "REPRO_RUN_JOBS",
+                 "REPRO_RUN_CORE_SHARE", "REPRO_JOURNAL_FSYNC",
+                 "REPRO_SIM_WORKERS"):
+        monkeypatch.delenv(knob, raising=False)
+    reset_core_ledger()
+    yield
+    reset_core_ledger()
+
+
+def events_of(root, run_id):
+    return read_journal(os.path.join(root, run_id, "journal.jsonl"))
+
+
+def starts_of(events, task_id):
+    return [
+        e for e in events
+        if e.get("event") == "task_start" and e.get("task") == task_id
+    ]
+
+
+def _norm(report):
+    return json.dumps(normalize_report(report), sort_keys=True)
+
+
+def fan_campaign(run_id, n=6, **policy):
+    """n independent sum tasks feeding one join task."""
+    tasks = [
+        TaskSpec(f"leaf{i}", "sum", {"value": i + 1}, **policy)
+        for i in range(n)
+    ]
+    tasks.append(TaskSpec(
+        "join", "sum", {"value": 100},
+        deps=tuple(t.task_id for t in tasks), **policy,
+    ))
+    return CampaignSpec(run_id=run_id, tasks=tasks,
+                        meta={"kind": "synthetic"})
+
+
+def _cli(args, cwd):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (SRC_ROOT, env.get("PYTHONPATH")) if p
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.runner", *args],
+        cwd=cwd, env=env, capture_output=True, text=True, timeout=120,
+    )
+
+
+# ----------------------------------------------------------------------
+# resolve_run_jobs
+# ----------------------------------------------------------------------
+
+class TestResolveRunJobs:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUN_JOBS", "7")
+        assert resolve_run_jobs(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUN_JOBS", "5")
+        assert resolve_run_jobs() == 5
+
+    def test_default_is_cpu_count(self):
+        assert resolve_run_jobs() == max(1, os.cpu_count() or 1)
+
+    def test_clamped_to_one(self):
+        assert resolve_run_jobs(0) == 1
+        assert resolve_run_jobs(-4) == 1
+
+
+# ----------------------------------------------------------------------
+# CoreLedger / Lease
+# ----------------------------------------------------------------------
+
+class TestCoreLedger:
+    def test_share_divides_among_active_leases(self):
+        ledger = CoreLedger(total=8)
+        assert ledger.share() == 8  # no leases: a lone caller gets all
+        leases = [ledger.acquire(f"t{i}") for i in range(4)]
+        assert ledger.share() == 2
+        for lease in leases:
+            lease.release()
+        assert ledger.share() == 8
+
+    def test_share_never_below_one(self):
+        ledger = CoreLedger(total=2)
+        leases = [ledger.acquire(f"t{i}") for i in range(5)]
+        assert ledger.share() == 1
+        for lease in leases:
+            lease.release()
+
+    def test_grant_caps_explicit_request(self):
+        ledger = CoreLedger(total=8)
+        a, b = ledger.acquire("a"), ledger.acquire("b")
+        assert a.grant(16) == 4  # capped at the fair share
+        assert a.grant(2) == 2   # explicit request below the share wins
+        assert a.grant(None) == 4  # None means "my share"
+        b.release()
+        assert a.grant(None) == 8  # renegotiated after the peer left
+        a.release()
+
+    def test_grant_counters(self):
+        ledger = CoreLedger(total=4)
+        lease = ledger.acquire("t")
+        lease.grant(None)
+        lease.grant(1)
+        assert lease.grants == 2
+        assert lease.peak_workers == 4
+        assert ledger.total_grants == 2
+        lease.release()
+
+    def test_release_is_idempotent(self):
+        ledger = CoreLedger(total=4)
+        lease = ledger.acquire("t")
+        lease.release()
+        lease.release()
+        assert ledger.active_count() == 0
+
+    def test_configure_reads_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUN_CORES", "12")
+        ledger = CoreLedger()
+        assert ledger.total == 12
+        monkeypatch.delenv("REPRO_RUN_CORES")
+        ledger.configure(3)
+        assert ledger.total == 3
+
+
+class TestNegotiateWorkers:
+    def test_unmanaged_passthrough(self):
+        assert negotiate_workers(None) is None
+        assert negotiate_workers(5) == 5
+        assert active_core_share() is None
+
+    def test_active_lease_grants(self):
+        ledger = core_ledger()
+        ledger.configure(6)
+        lease = ledger.acquire("t")
+        other = ledger.acquire("peer")
+        with activate_lease(lease):
+            assert current_lease() is lease
+            assert negotiate_workers(None) == 3
+            assert negotiate_workers(64) == 3
+            assert negotiate_workers(1) == 1
+            assert active_core_share() == 3
+        assert current_lease() is None
+        lease.release()
+        other.release()
+
+    def test_lease_is_thread_local(self):
+        ledger = core_ledger()
+        ledger.configure(4)
+        lease = ledger.acquire("t")
+        seen = {}
+
+        def peer():
+            seen["lease"] = current_lease()
+            seen["negotiated"] = negotiate_workers(2)
+
+        with activate_lease(lease):
+            worker = threading.Thread(target=peer)
+            worker.start()
+            worker.join()
+        assert seen["lease"] is None  # not inherited across threads
+        assert seen["negotiated"] == 2  # unmanaged passthrough
+        lease.release()
+
+    def test_static_share_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUN_CORE_SHARE", "3")
+        assert install_core_share_from_env() == 3
+        assert negotiate_workers(None) == 3
+        assert negotiate_workers(8) == 3
+        assert negotiate_workers(2) == 2
+        assert active_core_share() == 3
+
+    def test_resolve_workers_consults_ledger(self, monkeypatch):
+        from repro.netlist.vsim import resolve_workers
+
+        assert resolve_workers() == 1  # unmanaged default unchanged
+        ledger = core_ledger()
+        ledger.configure(6)
+        lease = ledger.acquire("t")
+        with activate_lease(lease):
+            assert resolve_workers() == 6  # lone task claims everything
+            assert resolve_workers(64) == 6
+            monkeypatch.setenv("REPRO_SIM_WORKERS", "2")
+            assert resolve_workers() == 2  # explicit env capped, not raised
+        lease.release()
+
+    def test_resolve_workers_still_rejects_zero(self):
+        from repro.netlist.vsim import resolve_workers
+
+        with pytest.raises(ValueError, match="workers"):
+            resolve_workers(0)
+
+
+# ----------------------------------------------------------------------
+# Fingerprints ignore performance knobs
+# ----------------------------------------------------------------------
+
+class TestPerfParamFingerprints:
+    def test_workers_and_exec_mode_not_fingerprinted(self):
+        base = TaskSpec("t", "sum", {"value": 1})
+        tuned = TaskSpec(
+            "t", "sum", {"value": 1, "workers": 8, "exec_mode": "process"}
+        )
+        assert fingerprint_task(base, {}) == fingerprint_task(tuned, {})
+
+    def test_result_params_still_fingerprinted(self):
+        a = TaskSpec("t", "sum", {"value": 1})
+        b = TaskSpec("t", "sum", {"value": 2})
+        assert fingerprint_task(a, {}) != fingerprint_task(b, {})
+
+    def test_scheduler_knobs_are_observed_not_fingerprinted(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUN_JOBS", "4")
+        monkeypatch.setenv("REPRO_JOURNAL_FSYNC", "batch")
+        observed = observed_env_knobs()
+        assert observed["REPRO_RUN_JOBS"] == "4"
+        assert observed["REPRO_JOURNAL_FSYNC"] == "batch"
+        spec = TaskSpec("t", "sum", {"value": 1})
+        with_knobs = fingerprint_task(spec, {})
+        monkeypatch.delenv("REPRO_RUN_JOBS")
+        monkeypatch.delenv("REPRO_JOURNAL_FSYNC")
+        assert fingerprint_task(spec, {}) == with_knobs
+
+
+# ----------------------------------------------------------------------
+# Concurrent execution correctness
+# ----------------------------------------------------------------------
+
+class TestConcurrentExecution:
+    def test_concurrent_report_matches_serial(self, tmp_path):
+        root = str(tmp_path / "runs")
+        serial = Runner(fan_campaign("serial"), root=root, jobs=1).execute()
+        conc = Runner(fan_campaign("conc"), root=root, jobs=4).execute()
+        assert _norm(serial) == _norm(conc)
+        # 1+2+...+6 leaves + 100 = 121 at the join either way.
+        assert conc["results"]["join"]["value"] == 121
+
+    def test_report_tasks_in_topo_order(self, tmp_path):
+        root = str(tmp_path / "runs")
+        report = Runner(fan_campaign("topo"), root=root, jobs=4).execute()
+        order = [t.task_id for t in fan_campaign("topo").topo_order()]
+        assert list(report["tasks"]) == order
+        assert list(report["results"]) == order
+
+    def test_dependency_ordering_respected(self, tmp_path):
+        # join's task_start must come after every leaf's task_end.
+        root = str(tmp_path / "runs")
+        Runner(fan_campaign("deps"), root=root, jobs=4).execute()
+        events = events_of(root, "deps")
+        join_start = next(
+            i for i, e in enumerate(events)
+            if e.get("event") == "task_start" and e.get("task") == "join"
+        )
+        leaf_ends = [
+            i for i, e in enumerate(events)
+            if e.get("event") == "task_end"
+            and str(e.get("task", "")).startswith("leaf")
+        ]
+        assert len(leaf_ends) == 6
+        assert max(leaf_ends) < join_start
+
+    def test_independent_tasks_overlap_wall_clock(self, tmp_path):
+        root = str(tmp_path / "runs")
+        campaign = CampaignSpec(run_id="overlap", tasks=[
+            TaskSpec("s1", "sleep", {"seconds": 0.6}),
+            TaskSpec("s2", "sleep", {"seconds": 0.6}),
+        ], meta={"kind": "synthetic"})
+        t0 = time.perf_counter()
+        report = Runner(campaign, root=root, jobs=2).execute()
+        elapsed = time.perf_counter() - t0
+        assert report["status"] == "ok"
+        assert elapsed < 1.1  # serial would need >= 1.2s
+
+    def test_dep_failure_skips_dependents(self, tmp_path):
+        root = str(tmp_path / "runs")
+        campaign = CampaignSpec(run_id="skip", tasks=[
+            TaskSpec("ok", "sum", {"value": 1}),
+            TaskSpec("bad", "flaky", {"fail_times": 99}),
+            TaskSpec("child", "sum", {"value": 2}, deps=("bad",)),
+            TaskSpec("orphan", "sum", {"value": 3}, deps=("ok", "child")),
+        ], meta={"kind": "synthetic"})
+        report = Runner(campaign, root=root, jobs=4).execute()
+        assert report["status"] == "failed"
+        assert report["tasks"]["bad"]["status"] == "failed"
+        assert report["tasks"]["child"]["status"] == "skipped"
+        assert report["tasks"]["orphan"]["status"] == "skipped"
+        assert report["tasks"]["ok"]["status"] == "ok"
+
+    def test_retries_apply_per_task(self, tmp_path):
+        root = str(tmp_path / "runs")
+        campaign = CampaignSpec(run_id="retry", tasks=[
+            TaskSpec("flaky", "flaky", {"fail_times": 2}, retries=3,
+                     backoff=0.0),
+            TaskSpec("peer", "sum", {"value": 5}),
+        ], meta={"kind": "synthetic"})
+        runner = Runner(campaign, root=root, jobs=2, sleep=lambda s: None)
+        report = runner.execute()
+        assert report["status"] == "ok"
+        assert report["tasks"]["flaky"]["attempts"] == 3
+
+    def test_timeout_bounds_stuck_task_without_stalling_peers(self, tmp_path):
+        root = str(tmp_path / "runs")
+        campaign = CampaignSpec(run_id="hang", tasks=[
+            TaskSpec("stuck", "hang", {"seconds": 60.0}, timeout=1.0),
+            TaskSpec("peer", "sum", {"value": 5}),
+        ], meta={"kind": "synthetic"})
+        t0 = time.perf_counter()
+        report = Runner(campaign, root=root, jobs=2).execute()
+        elapsed = time.perf_counter() - t0
+        assert report["tasks"]["stuck"]["status"] == "timeout"
+        assert report["tasks"]["peer"]["status"] == "ok"
+        assert elapsed < 30.0
+        assert report["runtime_warnings"]["RUN-THREAD-ABANDONED"] == 1
+
+    def test_deadline_scope_active_per_concurrent_task(self, tmp_path):
+        root = str(tmp_path / "runs")
+        campaign = CampaignSpec(run_id="deadline", tasks=[
+            TaskSpec("p1", "probe_deadline", timeout=30.0),
+            TaskSpec("p2", "probe_deadline"),
+        ], meta={"kind": "synthetic"})
+        report = Runner(campaign, root=root, jobs=2).execute()
+        assert report["results"]["p1"]["remaining"] is not None
+        assert 0 < report["results"]["p1"]["remaining"] <= 30.0
+        assert report["results"]["p2"]["remaining"] is None
+
+    def test_scheduler_section_present_and_volatile(self, tmp_path):
+        root = str(tmp_path / "runs")
+        serial = Runner(fan_campaign("s1"), root=root, jobs=1).execute()
+        conc = Runner(fan_campaign("s2"), root=root, jobs=3).execute()
+        assert "scheduler" not in serial
+        sched = conc["scheduler"]
+        assert sched["run_jobs"] == 3
+        assert sched["peak_in_flight"] >= 2
+        assert set(sched["spans"]) == {t.task_id
+                                       for t in fan_campaign("s2").tasks}
+        for span in sched["spans"].values():
+            assert span["queued"] >= 0.0 and span["run"] >= 0.0
+        assert "scheduler" not in normalize_report(conc)
+
+    def test_tasks_run_under_a_core_lease(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RUN_CORES", "8")
+        root = str(tmp_path / "runs")
+        seen = {}
+        from repro.runner import registry
+
+        @registry.task("probe_share")
+        def probe_share(params, ctx):
+            return {"share": active_core_share()}
+
+        try:
+            campaign = CampaignSpec(run_id="lease", tasks=[
+                TaskSpec("p1", "probe_share"),
+                TaskSpec("p2", "probe_share"),
+            ], meta={"kind": "synthetic"})
+            report = Runner(campaign, root=root, jobs=2).execute()
+            shares = {report["results"][t]["share"] for t in ("p1", "p2")}
+            # Managed: every share granted, between fair split and full.
+            assert shares <= {4, 8}
+        finally:
+            registry._TASKS.pop("probe_share", None)
+
+    def test_serial_path_takes_no_lease(self, tmp_path):
+        root = str(tmp_path / "runs")
+        from repro.runner import registry
+
+        @registry.task("probe_unmanaged")
+        def probe_unmanaged(params, ctx):
+            return {"share": active_core_share()}
+
+        try:
+            campaign = CampaignSpec(run_id="noledger", tasks=[
+                TaskSpec("p", "probe_unmanaged"),
+            ], meta={"kind": "synthetic"})
+            report = Runner(campaign, root=root, jobs=1).execute()
+            assert report["results"]["p"]["share"] is None
+        finally:
+            registry._TASKS.pop("probe_unmanaged", None)
+
+
+# ----------------------------------------------------------------------
+# Journal: batching, replay order-insensitivity
+# ----------------------------------------------------------------------
+
+class TestJournalBatching:
+    def test_resolve_fsync_mode(self, monkeypatch):
+        assert resolve_fsync_mode() == FSYNC_EVENT
+        monkeypatch.setenv("REPRO_JOURNAL_FSYNC", "batch")
+        assert resolve_fsync_mode() == FSYNC_BATCH
+        assert resolve_fsync_mode("event") == FSYNC_EVENT
+        with pytest.raises(ValueError, match="fsync"):
+            resolve_fsync_mode("sometimes")
+
+    def _count_fsyncs(self, monkeypatch):
+        calls = {"n": 0}
+        real = os.fsync
+
+        def counting(fd):
+            calls["n"] += 1
+            return real(fd)
+
+        monkeypatch.setattr(os, "fsync", counting)
+        return calls
+
+    def test_event_mode_syncs_per_append(self, tmp_path, monkeypatch):
+        calls = self._count_fsyncs(monkeypatch)
+        journal = Journal(str(tmp_path / "j.jsonl"))
+        for i in range(5):
+            journal.append({"event": "task_start", "task": f"t{i}"})
+        assert calls["n"] == 5
+        journal.commit()  # no-op: nothing pending
+        assert calls["n"] == 5
+        journal.close()
+
+    def test_batch_mode_group_commits(self, tmp_path, monkeypatch):
+        calls = self._count_fsyncs(monkeypatch)
+        journal = Journal(str(tmp_path / "j.jsonl"), fsync_mode="batch")
+        for i in range(5):
+            journal.append({"event": "task_start", "task": f"t{i}"})
+        assert calls["n"] == 0
+        journal.commit()
+        assert calls["n"] == 1
+        journal.commit()  # clean: still one
+        assert calls["n"] == 1
+        journal.append({"event": "run_end"})
+        journal.close()  # close commits the tail
+        assert calls["n"] == 2
+        events = read_journal(str(tmp_path / "j.jsonl"))
+        assert len(events) == 6
+
+    def test_batch_mode_env_applies_to_run(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_JOURNAL_FSYNC", "batch")
+        root = str(tmp_path / "runs")
+        report = Runner(fan_campaign("batched"), root=root, jobs=4).execute()
+        assert report["status"] == "ok"
+        events = events_of(root, "batched")
+        start = next(e for e in events if e["event"] == "run_start")
+        assert start["env_observed"]["REPRO_JOURNAL_FSYNC"] == "batch"
+        assert verify_resume_discipline(events) == []
+
+    def test_replay_is_order_insensitive_across_tasks(self, tmp_path):
+        # Two interleavings of the same per-task event streams replay to
+        # the same ledger — the property that makes concurrent journals
+        # resumable and diffable.
+        root = str(tmp_path / "runs")
+        Runner(fan_campaign("shuffle"), root=root, jobs=4).execute()
+        events = events_of(root, "shuffle")
+        task_events = [e for e in events if "task" in e]
+        other = [e for e in events if "task" not in e]
+        # Adversarial reordering: sort per-task streams together while
+        # keeping each task's own event order (stable sort).
+        reordered = other + sorted(
+            task_events, key=lambda e: str(e["task"])
+        )
+        a, b = replay(events), replay(reordered)
+        assert set(a.tasks) == set(b.tasks)
+        for task_id, rec in a.tasks.items():
+            alt = b.tasks[task_id]
+            assert (rec.status, rec.fingerprint, rec.payload) == \
+                (alt.status, alt.fingerprint, alt.payload)
+
+
+# ----------------------------------------------------------------------
+# Campaign save debounce
+# ----------------------------------------------------------------------
+
+class TestCampaignSaveDebounce:
+    def test_lazy_tasks_do_not_rewrite_per_task(self, tmp_path, monkeypatch):
+        root = str(tmp_path / "runs")
+        campaign = CampaignSpec(run_id="lazy", meta={"kind": "synthetic"})
+        runner = Runner(campaign, root=root, campaign_save_interval=3600.0)
+        saves = {"n": 0}
+        real = CampaignSpec.save
+
+        def counting(self, path):
+            saves["n"] += 1
+            return real(self, path)
+
+        monkeypatch.setattr(CampaignSpec, "save", counting)
+        for i in range(25):
+            runner.execute_spec(TaskSpec(f"t{i}", "sum", {"value": i}))
+        mid_saves = saves["n"]
+        assert mid_saves <= 2  # the initial save, not one per task
+        report = runner.finalize()
+        assert saves["n"] == mid_saves + 1  # finalize flushes the dirty file
+        assert report["status"] == "ok"
+        # The flushed campaign file holds every lazily-added task.
+        loaded = CampaignSpec.load(os.path.join(root, "lazy", "campaign.json"))
+        assert len(loaded.tasks) == 25
+
+    def test_interval_elapsed_saves_again(self, tmp_path):
+        root = str(tmp_path / "runs")
+        campaign = CampaignSpec(run_id="ticking", meta={"kind": "synthetic"})
+        runner = Runner(campaign, root=root, campaign_save_interval=0.0)
+        runner.execute_spec(TaskSpec("t0", "sum", {"value": 1}))
+        loaded = CampaignSpec.load(
+            os.path.join(root, "ticking", "campaign.json")
+        )
+        assert [t.task_id for t in loaded.tasks] == ["t0"]
+        runner.finalize()
+
+
+# ----------------------------------------------------------------------
+# Kill / resume under concurrency (satellite: SIGKILL a jobs=4 run)
+# ----------------------------------------------------------------------
+
+@posix_only
+class TestKillMidWave:
+    def _campaign_file(self, tmp_path, run_id):
+        tasks = [
+            {"id": f"leaf{i}", "kind": "sum", "params": {"value": i + 1}}
+            for i in range(6)
+        ]
+        tasks.append({"id": "boom", "kind": "kill_self",
+                      "params": {"value": 50}})
+        tasks.append({
+            "id": "join", "kind": "sum", "params": {"value": 100},
+            "deps": [t["id"] for t in tasks],
+        })
+        spec = {"run_id": run_id, "meta": {"kind": "synthetic"},
+                "tasks": tasks}
+        path = str(tmp_path / f"{run_id}.json")
+        with open(path, "w") as fh:
+            json.dump(spec, fh)
+        return path
+
+    def test_sigkill_jobs4_resume_zero_reexecution(self, tmp_path):
+        root = str(tmp_path / "runs")
+
+        # Reference: the same campaign straight through, serially.  The
+        # kill_self marker is pre-seeded so "boom" survives its first run.
+        ref = self._campaign_file(tmp_path, "straight")
+        os.makedirs(os.path.join(root, "straight"), exist_ok=True)
+        with open(os.path.join(root, "straight",
+                               "killed-boom.marker"), "w") as fh:
+            fh.write("armed\n")
+        proc = _cli(["run", "--campaign", ref, "--out", root, "--jobs", "1"],
+                    cwd=str(tmp_path))
+        assert proc.returncode == 0, proc.stderr
+
+        # 1. A jobs=4 run is SIGKILLed from inside "boom" mid-wave.
+        camp = self._campaign_file(tmp_path, "killed")
+        proc = _cli(["run", "--campaign", camp, "--out", root,
+                     "--jobs", "4"], cwd=str(tmp_path))
+        assert proc.returncode in (-signal.SIGKILL, 128 + signal.SIGKILL)
+
+        # 2. The journal survived; whatever completed is replayable.
+        events = events_of(root, "killed")
+        ledger = replay(events)
+        completed_before = {
+            t for t, rec in ledger.tasks.items() if rec.status == "ok"
+        }
+        assert not starts_of(events, "join")  # join waits on boom
+
+        # 3. Resume (again concurrent) completes without re-running any
+        #    completed task: every completed task keeps exactly one start.
+        proc = _cli(["resume", "killed", "--out", root, "--jobs", "4"],
+                    cwd=str(tmp_path))
+        assert proc.returncode == 0, proc.stderr
+        events = events_of(root, "killed")
+        for task_id in completed_before:
+            assert len(starts_of(events, task_id)) == 1, task_id
+        assert verify_resume_discipline(events) == []
+
+        # 4. `check` agrees, and the resumed run's normalized report is
+        #    bit-identical to the uninterrupted serial run's.
+        proc = _cli(["check", "killed", "--out", root], cwd=str(tmp_path))
+        assert proc.returncode == 0, proc.stdout
+        proc = _cli(["diff", "straight", "killed", "--out", root],
+                    cwd=str(tmp_path))
+        assert proc.returncode == 0, proc.stdout
+
+
+# ----------------------------------------------------------------------
+# CLI integration
+# ----------------------------------------------------------------------
+
+class TestCliJobs:
+    def test_run_accepts_jobs_flag(self, tmp_path):
+        camp = {"run_id": "clijobs", "meta": {"kind": "synthetic"},
+                "tasks": [
+                    {"id": "a", "kind": "sum", "params": {"value": 1}},
+                    {"id": "b", "kind": "sum", "params": {"value": 2}},
+                ]}
+        path = str(tmp_path / "c.json")
+        with open(path, "w") as fh:
+            json.dump(camp, fh)
+        root = str(tmp_path / "runs")
+        proc = _cli(["run", "--campaign", path, "--out", root,
+                     "--jobs", "2"], cwd=str(tmp_path))
+        assert proc.returncode == 0, proc.stderr
+        assert "UTILIZATION" in proc.stdout
